@@ -1,0 +1,117 @@
+// Command crowdsim generates synthetic crowd datasets for experimenting
+// with the evaluation tools:
+//
+//	crowdsim -workers 10 -tasks 200 -density 0.7 -spammers 2 > crowd.json
+//	crowdsim -arity 3 -workers 5 -tasks 500 -format csv > grades.csv
+//	crowdsim ... | crowdeval -in-format json -prune
+//
+// Binary crowds draw per-worker error rates from the paper's {0.1,0.2,0.3}
+// mix (overridable), optionally replacing some workers with spammers; k-ary
+// crowds assign each worker one of the paper's response-probability
+// matrices for the chosen arity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"crowdassess"
+)
+
+func main() {
+	var (
+		workers    = flag.Int("workers", 7, "number of workers")
+		tasks      = flag.Int("tasks", 100, "number of tasks")
+		arity      = flag.Int("arity", 2, "answers per task (2 = binary; 3 or 4 use the paper's matrices)")
+		density    = flag.Float64("density", 1, "per-worker probability of attempting each task")
+		spammers   = flag.Int("spammers", 0, "workers replaced by ≈coin-flip spammers (binary only)")
+		rates      = flag.String("rates", "", "comma-separated per-worker error rates (binary only; overrides -spammers)")
+		difficulty = flag.Float64("difficulty", 0, "per-task difficulty stddev (binary only; breaks independence like real data)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "json", "output format: json or csv")
+	)
+	flag.Parse()
+
+	src := crowdassess.NewSimSource(*seed)
+	var ds *crowdassess.Dataset
+	var err error
+	switch {
+	case *arity == 2:
+		cfg := crowdassess.BinarySim{
+			Tasks:            *tasks,
+			Workers:          *workers,
+			Density:          *density,
+			DifficultyStdDev: *difficulty,
+		}
+		if *rates != "" {
+			cfg.ErrorRates, err = parseRates(*rates, *workers)
+			if err != nil {
+				fatal(err)
+			}
+		} else if *spammers > 0 {
+			if *spammers >= *workers {
+				fatal(fmt.Errorf("%d spammers leave no honest workers", *spammers))
+			}
+			rs := make([]float64, *workers)
+			for i := range rs {
+				if i >= *workers-*spammers {
+					rs[i] = 0.45 + 0.05*src.Float64()
+				} else {
+					rs[i] = src.Choice([]float64{0.1, 0.2, 0.3})
+				}
+			}
+			cfg.ErrorRates = rs
+		}
+		ds, _, err = cfg.Generate(src)
+	case crowdassess.PaperConfusionMatrices(*arity) != nil:
+		ds, _, err = crowdassess.KArySim{
+			Tasks:            *tasks,
+			Workers:          *workers,
+			ConfusionChoices: crowdassess.PaperConfusionMatrices(*arity),
+			Density:          *density,
+		}.Generate(src)
+	default:
+		fatal(fmt.Errorf("arity %d unsupported (2, 3 or 4)", *arity))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "json":
+		if _, err := ds.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	case "csv":
+		if err := ds.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -format %q (json or csv)", *format))
+	}
+}
+
+func parseRates(s string, workers int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != workers {
+		return nil, fmt.Errorf("-rates lists %d values for %d workers", len(parts), workers)
+	}
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("-rates[%d] = %q is not a probability", i, p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "crowdsim: %v\n", err)
+	os.Exit(1)
+}

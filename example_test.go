@@ -1,0 +1,146 @@
+package crowdassess_test
+
+import (
+	"fmt"
+
+	"crowdassess"
+)
+
+// ExampleEvaluateTriple estimates three workers' error rates from their
+// answers alone — no gold standard.
+func ExampleEvaluateTriple() {
+	src := crowdassess.NewSimSource(42)
+	ds, _, err := crowdassess.BinarySim{
+		Tasks:      500,
+		Workers:    3,
+		ErrorRates: []float64{0.10, 0.20, 0.30},
+	}.Generate(src)
+	if err != nil {
+		panic(err)
+	}
+	intervals, err := crowdassess.EvaluateTriple(ds, [3]int{0, 1, 2}, 0.90)
+	if err != nil {
+		panic(err)
+	}
+	for w, iv := range intervals {
+		fmt.Printf("worker %d: [%.2f, %.2f]\n", w, iv.Lo, iv.Hi)
+	}
+	// Output:
+	// worker 0: [0.01, 0.16]
+	// worker 1: [0.18, 0.29]
+	// worker 2: [0.27, 0.37]
+}
+
+// ExampleEvaluateWorkers evaluates a larger crowd where workers answered
+// only a subset of tasks.
+func ExampleEvaluateWorkers() {
+	src := crowdassess.NewSimSource(7)
+	ds, _, err := crowdassess.BinarySim{
+		Tasks:      400,
+		Workers:    5,
+		ErrorRates: []float64{0.1, 0.1, 0.2, 0.3, 0.2},
+		Density:    0.8,
+	}.Generate(src)
+	if err != nil {
+		panic(err)
+	}
+	ests, err := crowdassess.EvaluateWorkers(ds, crowdassess.Options{Confidence: 0.9})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range ests {
+		if e.Err != nil {
+			continue
+		}
+		fmt.Printf("worker %d: mean %.2f from %d triples\n", e.Worker, e.Interval.Mean, e.Triples)
+	}
+	// Output:
+	// worker 0: mean 0.09 from 2 triples
+	// worker 1: mean 0.06 from 2 triples
+	// worker 2: mean 0.24 from 2 triples
+	// worker 3: mean 0.26 from 2 triples
+	// worker 4: mean 0.15 from 2 triples
+}
+
+// ExamplePruneSpammers shows the paper's preprocessing step: screen out
+// near-random workers before estimating the rest.
+func ExamplePruneSpammers() {
+	// Six reliable workers dominate the majority vote, so the two spammers
+	// stand out clearly against it.
+	src := crowdassess.NewSimSource(3)
+	ds, _, err := crowdassess.BinarySim{
+		Tasks:      300,
+		Workers:    8,
+		ErrorRates: []float64{0.1, 0.15, 0.2, 0.1, 0.15, 0.1, 0.5, 0.5},
+	}.Generate(src)
+	if err != nil {
+		panic(err)
+	}
+	pruned, kept, err := crowdassess.PruneSpammers(ds, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("kept %d of %d workers: %v\n", pruned.Workers(), ds.Workers(), kept)
+	// Output:
+	// kept 6 of 8 workers: [0 1 2 3 4 5]
+}
+
+// ExampleWeightedBinaryAnswers closes the loop: estimated error rates feed
+// a reliability-weighted vote over task answers.
+func ExampleWeightedBinaryAnswers() {
+	src := crowdassess.NewSimSource(11)
+	ds, _, err := crowdassess.BinarySim{
+		Tasks:      200,
+		Workers:    5,
+		ErrorRates: []float64{0.05, 0.3, 0.35, 0.4, 0.3},
+	}.Generate(src)
+	if err != nil {
+		panic(err)
+	}
+	ests, err := crowdassess.EvaluateWorkers(ds, crowdassess.Options{Confidence: 0.9})
+	if err != nil {
+		panic(err)
+	}
+	rates := make([]float64, ds.Workers())
+	for _, e := range ests {
+		if e.Err == nil {
+			rates[e.Worker] = e.Interval.Mean
+		} else {
+			rates[e.Worker] = 0.49
+		}
+	}
+	weighted, err := crowdassess.WeightedBinaryAnswers(ds, rates)
+	if err != nil {
+		panic(err)
+	}
+	wAcc, _ := crowdassess.AnswerAccuracy(ds, weighted)
+	mAcc, _ := crowdassess.AnswerAccuracy(ds, crowdassess.MajorityAnswers(ds))
+	fmt.Printf("weighted vote beats majority: %v\n", wAcc >= mAcc)
+	// Output:
+	// weighted vote beats majority: true
+}
+
+// ExampleGoldStandardIntervals shows the classical alternative when expert
+// labels exist.
+func ExampleGoldStandardIntervals() {
+	src := crowdassess.NewSimSource(5)
+	ds, _, err := crowdassess.BinarySim{
+		Tasks:      200,
+		Workers:    3,
+		ErrorRates: []float64{0.1, 0.2, 0.3},
+	}.Generate(src)
+	if err != nil {
+		panic(err)
+	}
+	ests, err := crowdassess.GoldStandardIntervals(ds, 0.95, crowdassess.GoldExact)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range ests {
+		fmt.Printf("worker %d: %d/%d wrong\n", e.Worker, e.Wrong, e.Scored)
+	}
+	// Output:
+	// worker 0: 19/200 wrong
+	// worker 1: 44/200 wrong
+	// worker 2: 57/200 wrong
+}

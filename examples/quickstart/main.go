@@ -1,0 +1,58 @@
+// Quickstart: estimate three workers' error rates, with confidence
+// intervals, from nothing but their (possibly incomplete) answers.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdassess"
+)
+
+func main() {
+	// Simulate a tiny labelling job: 3 workers, 200 binary tasks, and each
+	// worker only answers ~80% of the tasks (non-regular data). The true
+	// error rates are hidden inside the simulator, exactly like a real
+	// crowd.
+	src := crowdassess.NewSimSource(7)
+	ds, trueRates, err := crowdassess.BinarySim{
+		Tasks:      200,
+		Workers:    3,
+		ErrorRates: []float64{0.10, 0.20, 0.30},
+		Density:    0.8,
+	}.Generate(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Estimate error rates with 90% confidence intervals. No gold-standard
+	// answers are used — only inter-worker agreement.
+	intervals, err := crowdassess.EvaluateTriple(ds, [3]int{0, 1, 2}, 0.90)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("worker  estimate  90% interval        true rate")
+	for w, iv := range intervals {
+		fmt.Printf("  w%d    %.3f     [%.3f, %.3f]      %.2f\n",
+			w, iv.Mean, iv.Lo, iv.Hi, trueRates[w])
+	}
+
+	// The same dataset can be evaluated with the m-worker method, which is
+	// what you would use beyond three workers.
+	ests, err := crowdassess.EvaluateWorkers(ds, crowdassess.Options{Confidence: 0.90})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nm-worker method on the same data:")
+	for _, e := range ests {
+		if e.Err != nil {
+			fmt.Printf("  w%d    (no estimate: %v)\n", e.Worker, e.Err)
+			continue
+		}
+		fmt.Printf("  w%d    %.3f     [%.3f, %.3f]\n",
+			e.Worker, e.Interval.Mean, e.Interval.Lo, e.Interval.Hi)
+	}
+}

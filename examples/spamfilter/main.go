@@ -1,0 +1,99 @@
+// Spamfilter: the paper's Fig. 3 → Fig. 4 pipeline on a sparse, spammer-rich
+// crowd (emulating the RTE dataset shape): prune obvious spammers with the
+// majority-vote screen, then compute reliable intervals for the rest.
+//
+// Run with: go run ./examples/spamfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdassess"
+)
+
+func main() {
+	// A sparse labelling crowd: 40 workers, 500 tasks, heavy-tailed
+	// participation, and a 20% spammer fraction (error rate ≈ 0.5).
+	trueRates := make([]float64, 40)
+	densities := make([]float64, 40)
+	src := crowdassess.NewSimSource(31)
+	for i := range trueRates {
+		if i%5 == 4 {
+			trueRates[i] = 0.45 + 0.05*src.Float64() // spammer
+		} else {
+			trueRates[i] = 0.05 + 0.25*src.Float64()
+		}
+		u := src.Float64()
+		densities[i] = 0.1 + 0.6*u*u
+	}
+	ds, _, err := crowdassess.BinarySim{
+		Tasks:      500,
+		Workers:    40,
+		ErrorRates: trueRates,
+		Densities:  densities,
+	}.Generate(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Without pruning, spammer agreement rates sit near ½ where the
+	// estimator is volatile (the f singularity the paper discusses).
+	before, err := crowdassess.EvaluateWorkers(ds, crowdassess.Options{Confidence: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pruned, keep, err := crowdassess.PruneSpammers(ds, 0) // paper's 0.4 cutoff
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := crowdassess.EvaluateWorkers(pruned, crowdassess.Options{Confidence: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workers: %d before pruning, %d after (%d pruned)\n",
+		ds.Workers(), pruned.Workers(), ds.Workers()-pruned.Workers())
+
+	spammersPruned, goodPruned := 0, 0
+	kept := make(map[int]bool, len(keep))
+	for _, w := range keep {
+		kept[w] = true
+	}
+	for w, rate := range trueRates {
+		if !kept[w] {
+			if rate >= 0.4 {
+				spammersPruned++
+			} else {
+				goodPruned++
+			}
+		}
+	}
+	fmt.Printf("pruned %d true spammers and %d good workers\n", spammersPruned, goodPruned)
+
+	// Interval accuracy before vs after, measured against the gold answers
+	// the simulator kept (a real deployment would not have these — this is
+	// the experiment's scoreboard, not part of the method).
+	accuracy := func(ests []crowdassess.WorkerEstimate, d *crowdassess.Dataset, origIndex func(int) int) (hit, total int) {
+		for _, e := range ests {
+			if e.Err != nil {
+				continue
+			}
+			rate, err := d.TrueErrorRate(e.Worker)
+			if err != nil {
+				continue
+			}
+			_ = origIndex
+			total++
+			if e.Interval.Contains(rate) {
+				hit++
+			}
+		}
+		return hit, total
+	}
+	bh, bt := accuracy(before, ds, func(i int) int { return i })
+	ah, at := accuracy(after, pruned, func(i int) int { return keep[i] })
+	fmt.Printf("90%% interval accuracy before pruning: %d/%d = %.2f\n", bh, bt, float64(bh)/float64(bt))
+	fmt.Printf("90%% interval accuracy after  pruning: %d/%d = %.2f\n", ah, at, float64(ah)/float64(at))
+}

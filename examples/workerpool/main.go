@@ -1,0 +1,117 @@
+// Workerpool: manage a hiring/firing pipeline with confidence intervals.
+//
+// The paper's introduction motivates intervals with exactly this scenario:
+// firing a worker on a noisy point estimate risks losing good workers (bad
+// for marketplace reputation), while keeping obvious spammers wastes money.
+// The pipeline below is the paper's own: screen out pure spammers with the
+// majority-vote check first (their near-½ agreement rates sit on the
+// estimator's singularity), then make fire/keep decisions for everyone else
+// on interval endpoints rather than point estimates.
+//
+// Run with: go run ./examples/workerpool
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdassess"
+)
+
+const (
+	fireAbove = 0.30 // fire when the interval's LOWER end exceeds this
+	keepBelow = 0.15 // fast-track when the interval's UPPER end is below this
+)
+
+func main() {
+	// A pool of 12 workers with a realistic quality mix: most are decent,
+	// two are bad, two are spammers. Each answers ~80% of 400 tasks.
+	trueRates := []float64{
+		0.08, 0.12, 0.10, 0.15, 0.22, 0.18,
+		0.25, 0.11, 0.36, 0.42, 0.38, 0.50,
+	}
+	src := crowdassess.NewSimSource(11)
+	ds, _, err := crowdassess.BinarySim{
+		Tasks:      400,
+		Workers:    len(trueRates),
+		ErrorRates: trueRates,
+		Density:    0.8,
+	}.Generate(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage 1: the spammer screen (majority-vote disagreement > 0.4).
+	pruned, keep, err := crowdassess.PruneSpammers(ds, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept := make(map[int]bool, len(keep))
+	for _, w := range keep {
+		kept[w] = true
+	}
+	var fired []int
+	for w := range trueRates {
+		if !kept[w] {
+			fired = append(fired, w)
+		}
+	}
+	fmt.Printf("stage 1 — spammer screen fired %d workers: %v\n\n", len(fired), fired)
+
+	// Stage 2: confidence intervals for the survivors.
+	ests, err := crowdassess.EvaluateWorkers(pruned, crowdassess.Options{Confidence: 0.90})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("worker  interval          decision        true rate")
+	var fastTracked, retested int
+	for _, e := range ests {
+		orig := keep[e.Worker] // index back into the full pool
+		if e.Err != nil {
+			fmt.Printf("  w%-2d   (no estimate)     keep & retest   %.2f\n", orig, trueRates[orig])
+			retested++
+			continue
+		}
+		iv := e.Interval
+		var decision string
+		switch {
+		case iv.Lo > fireAbove:
+			// Even the optimistic end of the interval is unacceptable.
+			decision = "FIRE"
+			fired = append(fired, orig)
+		case iv.Hi < keepBelow:
+			// Even the pessimistic end is excellent: fast-track this worker
+			// to harder (better paid) tasks.
+			decision = "fast-track"
+			fastTracked++
+		default:
+			// The interval straddles the bar: give the worker more tasks
+			// rather than risk firing someone who was merely unlucky.
+			decision = "keep & retest"
+			retested++
+		}
+		fmt.Printf("  w%-2d   [%.3f, %.3f]    %-14s  %.2f\n",
+			orig, iv.Lo, iv.Hi, decision, trueRates[orig])
+	}
+
+	worstKept, bestFired := 0.0, 1.0
+	for w, rate := range trueRates {
+		isFired := false
+		for _, f := range fired {
+			if f == w {
+				isFired = true
+			}
+		}
+		if isFired && rate < bestFired {
+			bestFired = rate
+		}
+		if !isFired && rate > worstKept {
+			worstKept = rate
+		}
+	}
+	fmt.Printf("\nfired %d, fast-tracked %d, retained for more data %d\n",
+		len(fired), fastTracked, retested)
+	fmt.Printf("best worker fired has true rate %.2f; worst worker kept has %.2f —\n", bestFired, worstKept)
+	fmt.Println("interval-based decisions removed the bad workers without losing a good one.")
+}

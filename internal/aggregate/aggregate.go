@@ -1,0 +1,204 @@
+// Package aggregate infers task answers from crowd responses, weighting
+// each worker by an estimated quality. It closes the loop the paper's
+// introduction motivates: evaluate workers first (internal/core), then let
+// reliable workers count for more when deciding answers.
+//
+// Three aggregators are provided: plain majority vote, log-odds weighted
+// vote using binary error rates, and full Bayesian aggregation using k-ary
+// response-probability matrices.
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"crowdassess/internal/crowd"
+)
+
+// Answer is an inferred task answer with its posterior probability.
+type Answer struct {
+	Response   crowd.Response // None when no evidence exists for the task
+	Confidence float64        // posterior probability of Response
+}
+
+// Majority returns the plurality answer per task, with Confidence equal to
+// the plurality fraction.
+func Majority(ds *crowd.Dataset) []Answer {
+	out := make([]Answer, ds.Tasks())
+	counts := make([]int, ds.Arity()+1)
+	for t := 0; t < ds.Tasks(); t++ {
+		total := 0
+		for c := range counts {
+			counts[c] = 0
+		}
+		for w := 0; w < ds.Workers(); w++ {
+			r := ds.Response(w, t)
+			if r != crowd.None {
+				counts[r]++
+				total++
+			}
+		}
+		best, bestCount := crowd.None, 0
+		for c := 1; c <= ds.Arity(); c++ {
+			if counts[c] > bestCount {
+				best, bestCount = crowd.Response(c), counts[c]
+			}
+		}
+		if total == 0 {
+			out[t] = Answer{Response: crowd.None, Confidence: 0}
+			continue
+		}
+		out[t] = Answer{Response: best, Confidence: float64(bestCount) / float64(total)}
+	}
+	return out
+}
+
+// WeightedBinary aggregates binary responses with per-worker error rates:
+// each vote contributes its log-likelihood ratio log((1−p)/p), the optimal
+// weighting for independent workers. Error rates are clamped away from 0
+// and ½ to keep weights finite; workers with rate ≥ ½ are ignored (their
+// votes carry no usable signal under the non-malicious model).
+func WeightedBinary(ds *crowd.Dataset, errorRates []float64) ([]Answer, error) {
+	if ds.Arity() != 2 {
+		return nil, fmt.Errorf("aggregate: WeightedBinary needs binary tasks, got arity %d", ds.Arity())
+	}
+	if len(errorRates) != ds.Workers() {
+		return nil, fmt.Errorf("aggregate: %d error rates for %d workers", len(errorRates), ds.Workers())
+	}
+	weights := make([]float64, len(errorRates))
+	for w, p := range errorRates {
+		if p >= 0.5 {
+			weights[w] = 0
+			continue
+		}
+		if p < 1e-4 {
+			p = 1e-4
+		}
+		weights[w] = math.Log((1 - p) / p)
+	}
+	out := make([]Answer, ds.Tasks())
+	for t := 0; t < ds.Tasks(); t++ {
+		var logOdds float64 // log P(Yes…)/P(No…)
+		seen := false
+		for w := 0; w < ds.Workers(); w++ {
+			switch ds.Response(w, t) {
+			case crowd.Yes:
+				logOdds += weights[w]
+				seen = true
+			case crowd.No:
+				logOdds -= weights[w]
+				seen = true
+			}
+		}
+		if !seen {
+			out[t] = Answer{Response: crowd.None}
+			continue
+		}
+		pYes := 1 / (1 + math.Exp(-logOdds))
+		if pYes >= 0.5 {
+			out[t] = Answer{Response: crowd.Yes, Confidence: pYes}
+		} else {
+			out[t] = Answer{Response: crowd.No, Confidence: 1 - pYes}
+		}
+	}
+	return out, nil
+}
+
+// WeightedKAry aggregates k-ary responses with full response-probability
+// matrices: the posterior over true classes is prior × Π_w P_w(truth,
+// response). Matrices are per worker, k×k, rows ≈ stochastic (as produced
+// by the k-ary estimator or EM); prior may be nil for uniform.
+func WeightedKAry(ds *crowd.Dataset, matrices [][][]float64, prior []float64) ([]Answer, error) {
+	k := ds.Arity()
+	if len(matrices) != ds.Workers() {
+		return nil, fmt.Errorf("aggregate: %d matrices for %d workers", len(matrices), ds.Workers())
+	}
+	for w, m := range matrices {
+		if len(m) != k {
+			return nil, fmt.Errorf("aggregate: worker %d matrix has %d rows, want %d", w, len(m), k)
+		}
+		for j, row := range m {
+			if len(row) != k {
+				return nil, fmt.Errorf("aggregate: worker %d row %d has %d entries, want %d", w, j, len(row), k)
+			}
+		}
+	}
+	if prior == nil {
+		prior = make([]float64, k)
+		for i := range prior {
+			prior[i] = 1 / float64(k)
+		}
+	} else if len(prior) != k {
+		return nil, fmt.Errorf("aggregate: prior has %d classes, want %d", len(prior), k)
+	}
+	const floor = 1e-6 // zero matrix entries must not veto a class outright
+	out := make([]Answer, ds.Tasks())
+	logPost := make([]float64, k)
+	for t := 0; t < ds.Tasks(); t++ {
+		seen := false
+		for j := 0; j < k; j++ {
+			p := prior[j]
+			if p < floor {
+				p = floor
+			}
+			logPost[j] = math.Log(p)
+		}
+		for w := 0; w < ds.Workers(); w++ {
+			r := ds.Response(w, t)
+			if r == crowd.None {
+				continue
+			}
+			seen = true
+			for j := 0; j < k; j++ {
+				p := matrices[w][j][r-1]
+				if p < floor {
+					p = floor
+				}
+				logPost[j] += math.Log(p)
+			}
+		}
+		if !seen {
+			out[t] = Answer{Response: crowd.None}
+			continue
+		}
+		// Normalize in log space.
+		maxLog := logPost[0]
+		for _, lp := range logPost[1:] {
+			if lp > maxLog {
+				maxLog = lp
+			}
+		}
+		var z float64
+		best, bestP := 0, -1.0
+		for j := 0; j < k; j++ {
+			e := math.Exp(logPost[j] - maxLog)
+			z += e
+			if e > bestP {
+				best, bestP = j, e
+			}
+		}
+		out[t] = Answer{Response: crowd.Response(best + 1), Confidence: bestP / z}
+	}
+	return out, nil
+}
+
+// Accuracy scores answers against the dataset's gold labels, skipping tasks
+// without gold or without an inferred answer. It returns the fraction
+// correct and the number of scored tasks.
+func Accuracy(ds *crowd.Dataset, answers []Answer) (float64, int) {
+	correct, scored := 0, 0
+	for t := 0; t < ds.Tasks() && t < len(answers); t++ {
+		g := ds.Truth(t)
+		if g == crowd.None || answers[t].Response == crowd.None {
+			continue
+		}
+		scored++
+		if answers[t].Response == g {
+			correct++
+		}
+	}
+	if scored == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(scored), scored
+}

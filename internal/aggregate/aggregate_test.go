@@ -1,0 +1,203 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"crowdassess/internal/baseline"
+	"crowdassess/internal/core"
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+func TestMajorityBasics(t *testing.T) {
+	ds := crowd.MustNewDataset(3, 3, 2)
+	_ = ds.SetResponse(0, 0, crowd.Yes)
+	_ = ds.SetResponse(1, 0, crowd.Yes)
+	_ = ds.SetResponse(2, 0, crowd.No)
+	_ = ds.SetResponse(0, 1, crowd.No)
+	ans := Majority(ds)
+	if ans[0].Response != crowd.Yes || math.Abs(ans[0].Confidence-2.0/3) > 1e-12 {
+		t.Errorf("task 0: %+v", ans[0])
+	}
+	if ans[1].Response != crowd.No || ans[1].Confidence != 1 {
+		t.Errorf("task 1: %+v", ans[1])
+	}
+	if ans[2].Response != crowd.None {
+		t.Errorf("task 2: %+v", ans[2])
+	}
+}
+
+func TestWeightedBinaryOutvotesMajority(t *testing.T) {
+	// One excellent worker against two near-spammers: weighting must side
+	// with the excellent worker, majority cannot.
+	ds := crowd.MustNewDataset(3, 1, 2)
+	_ = ds.SetResponse(0, 0, crowd.Yes) // error rate 0.02
+	_ = ds.SetResponse(1, 0, crowd.No)  // error rate 0.45
+	_ = ds.SetResponse(2, 0, crowd.No)  // error rate 0.45
+	ans, err := WeightedBinary(ds, []float64{0.02, 0.45, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans[0].Response != crowd.Yes {
+		t.Errorf("weighted answer = %+v, want Yes", ans[0])
+	}
+	maj := Majority(ds)
+	if maj[0].Response != crowd.No {
+		t.Errorf("majority should say No: %+v", maj[0])
+	}
+}
+
+func TestWeightedBinaryValidation(t *testing.T) {
+	ds3 := crowd.MustNewDataset(2, 1, 3)
+	if _, err := WeightedBinary(ds3, []float64{0.1, 0.1}); err == nil {
+		t.Error("arity 3 accepted")
+	}
+	ds := crowd.MustNewDataset(2, 1, 2)
+	if _, err := WeightedBinary(ds, []float64{0.1}); err == nil {
+		t.Error("mismatched rates accepted")
+	}
+}
+
+func TestWeightedBinarySpammerIgnored(t *testing.T) {
+	ds := crowd.MustNewDataset(2, 1, 2)
+	_ = ds.SetResponse(0, 0, crowd.Yes) // p = 0.1
+	_ = ds.SetResponse(1, 0, crowd.No)  // p = 0.55: ignored
+	ans, err := WeightedBinary(ds, []float64{0.1, 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans[0].Response != crowd.Yes {
+		t.Errorf("answer = %+v", ans[0])
+	}
+}
+
+// End-to-end: estimating error rates with the paper's method and weighting
+// votes by them beats plain majority on a crowd with quality spread.
+func TestEvaluateThenAggregateBeatsMajority(t *testing.T) {
+	var weightedWins, ties int
+	const reps = 12
+	for r := 0; r < reps; r++ {
+		src := randx.NewSource(int64(500 + r))
+		rates := []float64{0.05, 0.35, 0.4, 0.38, 0.42}
+		ds, _, err := sim.Binary{Tasks: 300, Workers: 5, ErrorRates: rates}.Generate(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests, err := core.EvaluateWorkers(ds, core.EvalOptions{Confidence: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		estRates := make([]float64, 5)
+		for w, e := range ests {
+			if e.Err != nil {
+				estRates[w] = 0.49 // unknown quality ≈ no weight
+				continue
+			}
+			estRates[w] = e.Interval.Mean
+		}
+		weighted, err := WeightedBinary(ds, estRates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wAcc, _ := Accuracy(ds, weighted)
+		mAcc, _ := Accuracy(ds, Majority(ds))
+		switch {
+		case wAcc > mAcc:
+			weightedWins++
+		case wAcc == mAcc:
+			ties++
+		}
+	}
+	if weightedWins+ties < reps*2/3 {
+		t.Errorf("weighted aggregation won or tied only %d+%d of %d replicates",
+			weightedWins, ties, reps)
+	}
+}
+
+func TestWeightedKAryRecoversTruth(t *testing.T) {
+	src := randx.NewSource(9)
+	confs := []sim.Confusion{
+		sim.PaperMatricesArity3[0],
+		sim.PaperMatricesArity3[1],
+		sim.PaperMatricesArity3[2],
+		sim.PaperMatricesArity3[1],
+		sim.PaperMatricesArity3[2],
+	}
+	ds, _, err := sim.KAry{Tasks: 500, Workers: 5, Confusions: confs}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle matrices: upper bound on aggregation quality.
+	mats := make([][][]float64, 5)
+	for w, c := range confs {
+		mats[w] = c
+	}
+	ans, err := WeightedKAry(ds, mats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, scored := Accuracy(ds, ans)
+	if scored != 500 {
+		t.Fatalf("scored %d", scored)
+	}
+	mAcc, _ := Accuracy(ds, Majority(ds))
+	if acc < mAcc-0.01 {
+		t.Errorf("matrix-weighted %v below majority %v", acc, mAcc)
+	}
+	if acc < 0.9 {
+		t.Errorf("oracle-weighted accuracy %v", acc)
+	}
+}
+
+func TestWeightedKAryWithEMEstimates(t *testing.T) {
+	src := randx.NewSource(10)
+	confs := []sim.Confusion{
+		sim.PaperMatricesArity3[0],
+		sim.PaperMatricesArity3[1],
+		sim.PaperMatricesArity3[2],
+		sim.PaperMatricesArity3[1],
+		sim.PaperMatricesArity3[0],
+	}
+	ds, _, err := sim.KAry{Tasks: 400, Workers: 5, Confusions: confs}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := baseline.DawidSkene{}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := WeightedKAry(ds, em.Confusion, em.Selectivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := Accuracy(ds, ans)
+	if acc < 0.85 {
+		t.Errorf("EM-weighted accuracy %v", acc)
+	}
+}
+
+func TestWeightedKAryValidation(t *testing.T) {
+	ds := crowd.MustNewDataset(2, 1, 3)
+	good := [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	if _, err := WeightedKAry(ds, [][][]float64{good}, nil); err == nil {
+		t.Error("wrong matrix count accepted")
+	}
+	bad := [][]float64{{1, 0}, {0, 1}}
+	if _, err := WeightedKAry(ds, [][][]float64{good, bad}, nil); err == nil {
+		t.Error("wrong matrix shape accepted")
+	}
+	if _, err := WeightedKAry(ds, [][][]float64{good, good}, []float64{0.5, 0.5}); err == nil {
+		t.Error("wrong prior length accepted")
+	}
+}
+
+func TestAccuracyNoGold(t *testing.T) {
+	ds := crowd.MustNewDataset(1, 2, 2)
+	_ = ds.SetResponse(0, 0, crowd.Yes)
+	acc, scored := Accuracy(ds, Majority(ds))
+	if acc != 0 || scored != 0 {
+		t.Errorf("no-gold accuracy = %v over %d", acc, scored)
+	}
+}

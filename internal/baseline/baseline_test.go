@@ -1,0 +1,263 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+func TestOldTechniqueBasics(t *testing.T) {
+	src := randx.NewSource(1)
+	rates := []float64{0.1, 0.2, 0.3, 0.15, 0.25, 0.1, 0.2}
+	ds, _, err := sim.Binary{Tasks: 200, Workers: 7, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := OldTechnique{Confidence: 0.9}.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 7 {
+		t.Fatalf("%d intervals", len(ivs))
+	}
+	contained := 0
+	for w, iv := range ivs {
+		if !iv.IsValid() {
+			t.Errorf("worker %d: invalid interval %v", w, iv)
+		}
+		if iv.Contains(rates[w]) {
+			contained++
+		}
+	}
+	// Conservative intervals should contain the truth essentially always.
+	if contained < 6 {
+		t.Errorf("only %d/7 intervals contain the truth", contained)
+	}
+}
+
+func TestOldTechniqueRequiresRegular(t *testing.T) {
+	src := randx.NewSource(2)
+	ds, _, err := sim.Binary{Tasks: 100, Workers: 5, Density: 0.8}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (OldTechnique{Confidence: 0.9}).Evaluate(ds); err == nil {
+		t.Error("non-regular data accepted")
+	}
+}
+
+func TestOldTechniqueValidation(t *testing.T) {
+	ds := crowd.MustNewDataset(3, 5, 3)
+	if _, err := (OldTechnique{Confidence: 0.9}).Evaluate(ds); err == nil {
+		t.Error("k-ary accepted")
+	}
+	ds2 := crowd.MustNewDataset(2, 5, 2)
+	fill(ds2)
+	if _, err := (OldTechnique{Confidence: 0.9}).Evaluate(ds2); err == nil {
+		t.Error("2 workers accepted")
+	}
+	ds3 := crowd.MustNewDataset(3, 5, 2)
+	fill(ds3)
+	if _, err := (OldTechnique{Confidence: 0}).Evaluate(ds3); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+}
+
+func fill(ds *crowd.Dataset) {
+	for w := 0; w < ds.Workers(); w++ {
+		for t := 0; t < ds.Tasks(); t++ {
+			_ = ds.SetResponse(w, t, crowd.Yes)
+		}
+	}
+}
+
+func TestOldTechniqueSpammerVacuous(t *testing.T) {
+	// A pure spammer drives agreement to ½; the old technique falls back to
+	// the vacuous [0, ½] bound rather than failing.
+	src := randx.NewSource(3)
+	rates := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	ds, _, err := sim.Binary{Tasks: 300, Workers: 5, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := OldTechnique{Confidence: 0.9}.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, iv := range ivs {
+		if !iv.IsValid() {
+			t.Errorf("worker %d interval invalid: %v", w, iv)
+		}
+	}
+}
+
+func TestOldTechniqueWiderThanTight(t *testing.T) {
+	// Sanity for Fig. 1's premise: conservative propagation yields wide
+	// intervals. At c=0.5 with 100 tasks the paper reports ≈0.11 average
+	// size; accept anything clearly non-trivial and valid.
+	src := randx.NewSource(4)
+	ds, _, err := sim.Binary{Tasks: 100, Workers: 3}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, err := OldTechnique{Confidence: 0.5}.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, iv := range ivs {
+		if iv.Size() <= 0 {
+			t.Errorf("worker %d: empty interval %v", w, iv)
+		}
+	}
+}
+
+func TestSuperWorkerMajority(t *testing.T) {
+	ds := crowd.MustNewDataset(3, 2, 2)
+	// Task 0: Y,N,N → majority N among {1,2} is N... members {1,2}: N,N → N.
+	_ = ds.SetResponse(0, 0, crowd.Yes)
+	_ = ds.SetResponse(1, 0, crowd.No)
+	_ = ds.SetResponse(2, 0, crowd.No)
+	_ = ds.SetResponse(0, 1, crowd.Yes)
+	_ = ds.SetResponse(1, 1, crowd.Yes)
+	_ = ds.SetResponse(2, 1, crowd.No)
+	resp := superWorker(ds, []int{1, 2})
+	if resp[0] != crowd.No {
+		t.Errorf("task 0 super response = %v, want No", resp[0])
+	}
+	// Tie (Y from 1, N from 2) breaks toward Yes.
+	if resp[1] != crowd.Yes {
+		t.Errorf("task 1 super response = %v, want Yes (tie)", resp[1])
+	}
+}
+
+func TestDawidSkeneBinaryRecovers(t *testing.T) {
+	src := randx.NewSource(5)
+	rates := []float64{0.1, 0.2, 0.3, 0.15, 0.25}
+	ds, _, err := sim.Binary{Tasks: 800, Workers: 5, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DawidSkene{}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range rates {
+		if math.Abs(res.ErrorRate[w]-want) > 0.06 {
+			t.Errorf("worker %d EM error rate %v, want ≈%v", w, res.ErrorRate[w], want)
+		}
+	}
+	// Posterior should recover most truths.
+	correct := 0
+	for task := 0; task < ds.Tasks(); task++ {
+		best, bestP := 0, -1.0
+		for j, p := range res.Posterior[task] {
+			if p > bestP {
+				best, bestP = j, p
+			}
+		}
+		if crowd.Response(best+1) == ds.Truth(task) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Tasks()); acc < 0.95 {
+		t.Errorf("EM truth accuracy %v", acc)
+	}
+}
+
+func TestDawidSkeneKAry(t *testing.T) {
+	src := randx.NewSource(6)
+	confs := []sim.Confusion{
+		sim.PaperMatricesArity3[0],
+		sim.PaperMatricesArity3[1],
+		sim.PaperMatricesArity3[2],
+		sim.PaperMatricesArity3[0],
+		sim.PaperMatricesArity3[1],
+	}
+	ds, _, err := sim.KAry{Tasks: 1500, Workers: 5, Confusions: confs}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DawidSkene{}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range confs {
+		for j1 := 0; j1 < 3; j1++ {
+			for j2 := 0; j2 < 3; j2++ {
+				if math.Abs(res.Confusion[w][j1][j2]-confs[w][j1][j2]) > 0.08 {
+					t.Errorf("worker %d P(%d,%d) = %v, want ≈%v",
+						w, j1, j2, res.Confusion[w][j1][j2], confs[w][j1][j2])
+				}
+			}
+		}
+	}
+	for j := 0; j < 3; j++ {
+		if math.Abs(res.Selectivity[j]-1.0/3) > 0.05 {
+			t.Errorf("selectivity[%d] = %v", j, res.Selectivity[j])
+		}
+	}
+}
+
+func TestDawidSkeneSparse(t *testing.T) {
+	src := randx.NewSource(7)
+	ds, rates, err := sim.Binary{Tasks: 600, Workers: 8, Density: 0.4}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DawidSkene{}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range rates {
+		if math.Abs(res.ErrorRate[w]-want) > 0.1 {
+			t.Errorf("sparse worker %d EM error %v, want ≈%v", w, res.ErrorRate[w], want)
+		}
+	}
+}
+
+func TestDawidSkeneEmptyDataset(t *testing.T) {
+	ds := crowd.MustNewDataset(3, 5, 2)
+	if _, err := (DawidSkene{}).Fit(ds); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestDawidSkeneConverges(t *testing.T) {
+	src := randx.NewSource(8)
+	ds, _, err := sim.Binary{Tasks: 300, Workers: 5}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DawidSkene{MaxIter: 200}.Fit(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 200 {
+		t.Errorf("EM used all %d iterations without converging", res.Iterations)
+	}
+	if math.IsNaN(res.LogLikelihood) || math.IsInf(res.LogLikelihood, 0) {
+		t.Errorf("log-likelihood = %v", res.LogLikelihood)
+	}
+}
+
+func TestMajorityErrorRates(t *testing.T) {
+	src := randx.NewSource(9)
+	rates := []float64{0.1, 0.1, 0.1, 0.1, 0.45}
+	ds, _, err := sim.Binary{Tasks: 400, Workers: 5, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MajorityErrorRates(ds)
+	// The bad worker should stand out clearly.
+	for w := 0; w < 4; w++ {
+		if got[w] > 0.25 {
+			t.Errorf("good worker %d majority disagreement %v", w, got[w])
+		}
+	}
+	if got[4] < 0.3 {
+		t.Errorf("spammer majority disagreement %v", got[4])
+	}
+}

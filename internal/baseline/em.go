@@ -1,0 +1,196 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"crowdassess/internal/crowd"
+)
+
+// DawidSkene is the classical EM estimator for worker confusion matrices
+// and task truths [Dawid & Skene 1979] — the point-estimate baseline the
+// paper's related-work section contrasts against (no confidence intervals,
+// convergence only to a local optimum).
+type DawidSkene struct {
+	// MaxIter bounds the EM iterations. Zero means 100.
+	MaxIter int
+	// Tol stops iteration when the log-likelihood improves by less. Zero
+	// means 1e-7.
+	Tol float64
+	// Smoothing is the Laplace pseudo-count added to confusion rows and the
+	// class prior. Zero means 0.01.
+	Smoothing float64
+}
+
+// DawidSkeneResult holds the EM point estimates.
+type DawidSkeneResult struct {
+	// Confusion[w][j1][j2] estimates worker w's probability of answering
+	// class j2+1 when the truth is class j1+1.
+	Confusion [][][]float64
+	// Selectivity estimates the prior over true classes.
+	Selectivity []float64
+	// Posterior[t][j] is the posterior probability that task t's truth is
+	// class j+1.
+	Posterior [][]float64
+	// ErrorRate[w] = Σ_j s_j·(1 − Confusion[w][j][j]): the marginal
+	// probability that worker w answers incorrectly.
+	ErrorRate []float64
+	// Iterations actually performed.
+	Iterations int
+	// LogLikelihood at the final iterate.
+	LogLikelihood float64
+}
+
+// Fit runs EM on the dataset. Workers with no responses keep uniform
+// confusion rows. The dataset's gold answers are never consulted.
+func (cfg DawidSkene) Fit(ds *crowd.Dataset) (*DawidSkeneResult, error) {
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	smooth := cfg.Smoothing
+	if smooth <= 0 {
+		smooth = 0.01
+	}
+	m, n, k := ds.Workers(), ds.Tasks(), ds.Arity()
+
+	// Initialize posteriors from per-task response frequencies (a soft
+	// majority vote). Tasks with no responses start uniform.
+	post := make([][]float64, n)
+	anyResponse := false
+	for t := 0; t < n; t++ {
+		post[t] = make([]float64, k)
+		total := 0
+		for w := 0; w < m; w++ {
+			if r := ds.Response(w, t); r != crowd.None {
+				post[t][r-1]++
+				total++
+			}
+		}
+		if total == 0 {
+			for j := range post[t] {
+				post[t][j] = 1 / float64(k)
+			}
+			continue
+		}
+		anyResponse = true
+		for j := range post[t] {
+			post[t][j] = (post[t][j] + smooth) / (float64(total) + smooth*float64(k))
+		}
+	}
+	if !anyResponse {
+		return nil, fmt.Errorf("baseline: dataset has no responses")
+	}
+
+	conf := make([][][]float64, m)
+	sel := make([]float64, k)
+	var prevLL float64
+	iterations := 0
+	var ll float64
+	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
+		// M-step: confusion matrices and class prior from soft counts.
+		for j := range sel {
+			sel[j] = smooth
+		}
+		for t := 0; t < n; t++ {
+			for j := 0; j < k; j++ {
+				sel[j] += post[t][j]
+			}
+		}
+		normalize(sel)
+		for w := 0; w < m; w++ {
+			rows := make([][]float64, k)
+			for j1 := 0; j1 < k; j1++ {
+				rows[j1] = make([]float64, k)
+				for j2 := 0; j2 < k; j2++ {
+					rows[j1][j2] = smooth
+				}
+			}
+			for t := 0; t < n; t++ {
+				r := ds.Response(w, t)
+				if r == crowd.None {
+					continue
+				}
+				for j1 := 0; j1 < k; j1++ {
+					rows[j1][r-1] += post[t][j1]
+				}
+			}
+			for j1 := 0; j1 < k; j1++ {
+				normalize(rows[j1])
+			}
+			conf[w] = rows
+		}
+		// E-step: recompute posteriors and the log-likelihood.
+		ll = 0
+		for t := 0; t < n; t++ {
+			var logp [64]float64 // k ≤ 64 in any reasonable crowd task
+			maxLog := math.Inf(-1)
+			for j := 0; j < k; j++ {
+				lp := math.Log(sel[j])
+				for w := 0; w < m; w++ {
+					if r := ds.Response(w, t); r != crowd.None {
+						lp += math.Log(conf[w][j][r-1])
+					}
+				}
+				logp[j] = lp
+				if lp > maxLog {
+					maxLog = lp
+				}
+			}
+			var z float64
+			for j := 0; j < k; j++ {
+				post[t][j] = math.Exp(logp[j] - maxLog)
+				z += post[t][j]
+			}
+			for j := 0; j < k; j++ {
+				post[t][j] /= z
+			}
+			ll += maxLog + math.Log(z)
+		}
+		if iter > 0 && math.Abs(ll-prevLL) < tol*(1+math.Abs(prevLL)) {
+			break
+		}
+		prevLL = ll
+	}
+
+	res := &DawidSkeneResult{
+		Confusion:     conf,
+		Selectivity:   sel,
+		Posterior:     post,
+		ErrorRate:     make([]float64, m),
+		Iterations:    iterations,
+		LogLikelihood: ll,
+	}
+	for w := 0; w < m; w++ {
+		var e float64
+		for j := 0; j < k; j++ {
+			e += sel[j] * (1 - conf[w][j][j])
+		}
+		res.ErrorRate[w] = e
+	}
+	return res, nil
+}
+
+func normalize(xs []float64) {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+}
+
+// MajorityErrorRates returns each worker's disagreement with the majority
+// vote — the simplest baseline, and the paper's spammer-screening signal.
+func MajorityErrorRates(ds *crowd.Dataset) []float64 {
+	return ds.MajorityDisagreement()
+}

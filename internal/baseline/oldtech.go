@@ -1,0 +1,155 @@
+// Package baseline implements the comparison methods of the paper's
+// evaluation: the authors' previous technique [2] ("old technique", used in
+// Fig. 1), the Dawid–Skene EM estimator that anchors the related-work
+// discussion, and plain majority voting.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/stat"
+)
+
+// OldTechnique reproduces the KDD'13 method of reference [2] as this paper
+// describes it: to evaluate worker i, the remaining workers are split into
+// two "super-workers" whose response on a task is the majority response of
+// their half; the three pairwise agreement rates then bound the worker's
+// error rate through the same closed form f, but with worst-case
+// (union-bound) interval propagation rather than the delta method — which
+// is what makes its intervals conservative. It requires regular data and
+// assumes equal false-positive/negative rates, exactly the restrictions the
+// paper lifts.
+type OldTechnique struct {
+	// Confidence is the interval level c ∈ (0,1).
+	Confidence float64
+}
+
+// Evaluate returns c-confidence intervals for every worker's error rate.
+// It fails unless the dataset is binary and regular (the old technique's
+// fundamental assumption: a super-worker must have a consistent error rate
+// across all tasks, which only holds when every worker answers every task).
+func (o OldTechnique) Evaluate(ds *crowd.Dataset) ([]stat.Interval, error) {
+	if ds.Arity() != 2 {
+		return nil, fmt.Errorf("baseline: old technique requires binary tasks, got arity %d", ds.Arity())
+	}
+	if !ds.IsRegular() {
+		return nil, fmt.Errorf("baseline: old technique requires regular data")
+	}
+	if !(o.Confidence > 0 && o.Confidence < 1) {
+		return nil, fmt.Errorf("baseline: confidence %v outside (0,1)", o.Confidence)
+	}
+	m := ds.Workers()
+	if m < 3 {
+		return nil, fmt.Errorf("baseline: old technique needs ≥3 workers, have %d", m)
+	}
+	n := ds.Tasks()
+	out := make([]stat.Interval, m)
+	// Union bound: three agreement intervals must hold simultaneously.
+	perQ := 1 - (1-o.Confidence)/3
+	for i := 0; i < m; i++ {
+		// Split the other workers into two halves (first half, second half
+		// in index order — the reference implementation used an arbitrary
+		// partition).
+		var others []int
+		for w := 0; w < m; w++ {
+			if w != i {
+				others = append(others, w)
+			}
+		}
+		halfA := others[:len(others)/2]
+		halfB := others[len(others)/2:]
+		respA := superWorker(ds, halfA)
+		respB := superWorker(ds, halfB)
+
+		var agreeIA, agreeIB, agreeAB int
+		for t := 0; t < n; t++ {
+			ri := ds.Response(i, t)
+			if ri == respA[t] {
+				agreeIA++
+			}
+			if ri == respB[t] {
+				agreeIB++
+			}
+			if respA[t] == respB[t] {
+				agreeAB++
+			}
+		}
+		ivIA := stat.Wilson(agreeIA, n, perQ)
+		ivIB := stat.Wilson(agreeIB, n, perQ)
+		ivAB := stat.Wilson(agreeAB, n, perQ)
+
+		mean, lo, hi, ok := propagateWorstCase(
+			float64(agreeIA)/float64(n),
+			float64(agreeIB)/float64(n),
+			float64(agreeAB)/float64(n),
+			ivIA, ivIB, ivAB)
+		if !ok {
+			// Agreement rates at or below ½: the old technique cannot bound
+			// this worker better than "anything below a coin flip".
+			out[i] = stat.Interval{Mean: 0.25, Lo: 0, Hi: 0.5, Confidence: o.Confidence}
+			continue
+		}
+		out[i] = stat.Interval{Mean: mean, Lo: lo, Hi: hi, Confidence: o.Confidence}.ClampTo(0, 1)
+	}
+	return out, nil
+}
+
+// superWorker returns the majority response of the given workers per task.
+// Regularity guarantees every member responded; ties break toward Yes to
+// keep the super-worker deterministic.
+func superWorker(ds *crowd.Dataset, members []int) []crowd.Response {
+	n := ds.Tasks()
+	out := make([]crowd.Response, n)
+	for t := 0; t < n; t++ {
+		yes := 0
+		for _, w := range members {
+			if ds.Response(w, t) == crowd.Yes {
+				yes++
+			}
+		}
+		if 2*yes >= len(members) {
+			out[t] = crowd.Yes
+		} else {
+			out[t] = crowd.No
+		}
+	}
+	return out
+}
+
+// propagateWorstCase pushes the three agreement intervals through
+// f(a,b,c) = ½ − ½√((2a−1)(2b−1)/(2c−1)) by evaluating all corner
+// combinations: f is monotone in each argument on the valid domain, so the
+// extrema lie at corners. ok is false when the point estimates leave the
+// domain (agreement ≤ ½). Out-of-domain corners are clamped to the
+// worst-case endpoint p = ½.
+func propagateWorstCase(qa, qb, qc float64, ia, ib, ic stat.Interval) (mean, lo, hi float64, ok bool) {
+	point, valid := fOld(qa, qb, qc)
+	if !valid {
+		return 0, 0, 0, false
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, a := range []float64{ia.Lo, ia.Hi} {
+		for _, b := range []float64{ib.Lo, ib.Hi} {
+			for _, c := range []float64{ic.Lo, ic.Hi} {
+				v, valid := fOld(a, b, c)
+				if !valid {
+					// A corner at or below ½ admits error rates up to ½.
+					v = 0.5
+				}
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	return point, lo, hi, true
+}
+
+func fOld(a, b, c float64) (float64, bool) {
+	ta, tb, tc := 2*a-1, 2*b-1, 2*c-1
+	if ta <= 0 || tb <= 0 || tc <= 0 {
+		return 0, false
+	}
+	return 0.5 - 0.5*math.Sqrt(ta*tb/tc), true
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+// Failure-injection tests: the paper states its assumptions (independent
+// errors, non-malicious workers, non-colluding workers) and claims graceful
+// behaviour when they are mildly violated. These tests pin down what the
+// implementation actually does under each violation, so regressions in the
+// degradation mode are caught.
+
+// makeColluders builds a crowd where workers 1 and 2 copy worker 0's
+// answers verbatim (perfect collusion) while workers 3…m-1 are honest.
+func makeColluders(t *testing.T, seed int64, m, tasks int) (*crowd.Dataset, []float64) {
+	t.Helper()
+	src := randx.NewSource(seed)
+	rates := make([]float64, m)
+	for i := range rates {
+		rates[i] = 0.25
+	}
+	ds, _, err := sim.Binary{Tasks: tasks, Workers: m, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < tasks; task++ {
+		r := ds.Response(0, task)
+		_ = ds.SetResponse(1, task, r)
+		_ = ds.SetResponse(2, task, r)
+	}
+	return ds, rates
+}
+
+func TestCollusionInflatesApparentQuality(t *testing.T) {
+	// Perfect colluders agree always, so q = 1 among them and the estimator
+	// concludes p ≈ 0 for the ring: the documented failure mode of
+	// agreement-based evaluation. The test asserts (a) no crash, (b) the
+	// colluders' estimated rates are far below their true 0.25, and (c)
+	// honest workers are still estimated sanely.
+	ds, rates := makeColluders(t, 1, 9, 300)
+	ests, err := EvaluateWorkers(ds, EvalOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 3; w++ {
+		if ests[w].Err != nil {
+			continue // degenerate is acceptable for the ring
+		}
+		if ests[w].Interval.Mean > 0.2 {
+			t.Errorf("colluder %d estimated at %v — collusion should inflate apparent quality",
+				w, ests[w].Interval.Mean)
+		}
+	}
+	for w := 3; w < 9; w++ {
+		if ests[w].Err != nil {
+			t.Errorf("honest worker %d lost its estimate: %v", w, ests[w].Err)
+			continue
+		}
+		if d := ests[w].Interval.Mean - rates[w]; d > 0.15 || d < -0.15 {
+			t.Errorf("honest worker %d estimate %v vs true %v", w, ests[w].Interval.Mean, rates[w])
+		}
+	}
+}
+
+func TestMaliciousWorkerDegenerates(t *testing.T) {
+	// A worker with error rate > ½ violates the non-malicious assumption:
+	// agreement with honest workers falls below ½ and the estimator must
+	// refuse (ErrDegenerate) rather than return a wrong interval.
+	src := randx.NewSource(2)
+	rates := []float64{0.1, 0.1, 0.85}
+	ds, _, err := sim.Binary{Tasks: 500, Workers: 3, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ThreeWorkerBinary(ds, [3]int{0, 1, 2}, 0.9)
+	if !errors.Is(err, ErrDegenerate) {
+		t.Errorf("malicious worker: err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestMaliciousWorkerScreenedByPruning(t *testing.T) {
+	// The pipeline answer to malice: the majority screen removes the
+	// adversary, after which the honest workers evaluate normally.
+	src := randx.NewSource(3)
+	rates := []float64{0.1, 0.15, 0.2, 0.1, 0.9}
+	ds, _, err := sim.Binary{Tasks: 300, Workers: 5, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, keep, err := PruneSpammers(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range keep {
+		if w == 4 {
+			t.Fatal("adversary survived pruning")
+		}
+	}
+	ests, err := EvaluateWorkers(pruned, EvalOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ests {
+		if e.Err != nil {
+			t.Errorf("worker %d unevaluable after pruning: %v", keep[e.Worker], e.Err)
+		}
+	}
+}
+
+func TestAllSpammersInsufficient(t *testing.T) {
+	// A crowd of pure spammers has no signal at all; every worker should
+	// fail with a typed error, never a garbage interval.
+	src := randx.NewSource(4)
+	rates := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	ds, _, err := sim.Binary{Tasks: 200, Workers: 5, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := EvaluateWorkers(ds, EvalOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ests {
+		if e.Err == nil && e.Interval.Size() < 0.2 {
+			// A tight interval from pure noise would be a correctness bug;
+			// loose intervals or errors are both acceptable degradations.
+			t.Errorf("worker %d got a confident interval %v from pure noise", e.Worker, e.Interval)
+		}
+	}
+}
+
+func TestConstantAnswerWorker(t *testing.T) {
+	// A worker who answers Yes to everything is maximally biased; on a
+	// balanced task mix the binary model reads this as error rate ≈ ½.
+	// The estimator must not credit it with quality.
+	src := randx.NewSource(5)
+	ds, _, err := sim.Binary{Tasks: 400, Workers: 5, ErrorRates: []float64{0.1, 0.1, 0.1, 0.1, 0.1}}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < 400; task++ {
+		_ = ds.SetResponse(4, task, crowd.Yes)
+	}
+	ests, err := EvaluateWorkers(ds, EvalOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[4].Err == nil && ests[4].Interval.Hi < 0.3 {
+		t.Errorf("constant worker credited with error rate below 0.3: %v", ests[4].Interval)
+	}
+}
+
+func TestDifficultyCorrelationDegradesGracefully(t *testing.T) {
+	// Strong task-difficulty correlation (the paper's Section III-E
+	// caveat) biases agreement upward; intervals lose some coverage but
+	// estimation must neither crash nor collapse.
+	const reps = 60
+	hits, total := 0, 0
+	for r := 0; r < reps; r++ {
+		src := randx.NewSource(int64(600 + r))
+		ds, rates, err := sim.Binary{
+			Tasks:            200,
+			Workers:          7,
+			DifficultyStdDev: 0.15,
+		}.Generate(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests, err := EvaluateWorkers(ds, EvalOptions{Confidence: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ests {
+			if e.Err != nil {
+				continue
+			}
+			total++
+			if e.Interval.Contains(rates[e.Worker]) {
+				hits++
+			}
+		}
+	}
+	coverage := float64(hits) / float64(total)
+	// Nominal 0.9; correlated difficulty costs coverage but the method must
+	// stay "still very useful" (paper's words) — keep above 0.6.
+	if coverage < 0.6 {
+		t.Errorf("coverage %v collapsed under difficulty correlation", coverage)
+	}
+	if coverage > 0.99 {
+		t.Errorf("coverage %v suspiciously perfect — correlation not exercised?", coverage)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/stat"
+)
+
+// This file implements the classical comparator from the paper's
+// introduction: when gold-standard tasks exist, each worker's error rate is
+// a plain binomial proportion and standard statistical techniques apply.
+// The paper's whole point is to match this WITHOUT gold answers; having the
+// classical method in the library (a) serves deployments that do have some
+// gold tasks and (b) lets tests and benches quantify how close the
+// agreement-based intervals come to the gold-based ones.
+
+// GoldMethod selects the interval construction for gold-standard scoring.
+type GoldMethod int
+
+const (
+	// GoldExact uses the Clopper–Pearson exact binomial interval
+	// (guaranteed coverage, widest).
+	GoldExact GoldMethod = iota
+	// GoldWilson uses the Wilson score interval (approximate, tighter).
+	GoldWilson
+	// GoldWald uses the plain normal approximation (classical textbook).
+	GoldWald
+)
+
+// GoldEstimate is one worker's gold-standard evaluation.
+type GoldEstimate struct {
+	Worker   int
+	Interval stat.Interval
+	Scored   int   // gold-labelled tasks the worker answered
+	Wrong    int   // of those, answered incorrectly
+	Err      error // non-nil when the worker answered no gold tasks
+}
+
+// GoldStandardIntervals scores every worker against the dataset's gold
+// answers, returning a c-confidence interval for each error rate. Tasks
+// without gold answers are ignored. Works for any arity: an answer is
+// simply right or wrong against the gold label.
+func GoldStandardIntervals(ds *crowd.Dataset, c float64, method GoldMethod) ([]GoldEstimate, error) {
+	if err := checkConfidence(c); err != nil {
+		return nil, err
+	}
+	hasAny := false
+	for t := 0; t < ds.Tasks(); t++ {
+		if ds.Truth(t) != crowd.None {
+			hasAny = true
+			break
+		}
+	}
+	if !hasAny {
+		return nil, fmt.Errorf("core: %w", crowd.ErrNoGold)
+	}
+	out := make([]GoldEstimate, ds.Workers())
+	for w := range out {
+		out[w] = goldOne(ds, w, c, method)
+	}
+	return out, nil
+}
+
+func goldOne(ds *crowd.Dataset, w int, c float64, method GoldMethod) GoldEstimate {
+	est := GoldEstimate{Worker: w}
+	for t := 0; t < ds.Tasks(); t++ {
+		g := ds.Truth(t)
+		r := ds.Response(w, t)
+		if g == crowd.None || r == crowd.None {
+			continue
+		}
+		est.Scored++
+		if r != g {
+			est.Wrong++
+		}
+	}
+	if est.Scored == 0 {
+		est.Err = fmt.Errorf("core: worker %d answered no gold tasks: %w", w, crowd.ErrNoGold)
+		return est
+	}
+	switch method {
+	case GoldWilson:
+		est.Interval = stat.Wilson(est.Wrong, est.Scored, c)
+	case GoldWald:
+		est.Interval = stat.Wald(est.Wrong, est.Scored, c)
+	default:
+		est.Interval = stat.ClopperPearson(est.Wrong, est.Scored, c)
+	}
+	return est
+}

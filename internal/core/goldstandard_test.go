@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+func TestGoldStandardIntervals(t *testing.T) {
+	src := randx.NewSource(1)
+	rates := []float64{0.1, 0.25, 0.4}
+	ds, _, err := sim.Binary{Tasks: 400, Workers: 3, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []GoldMethod{GoldExact, GoldWilson, GoldWald} {
+		ests, err := GoldStandardIntervals(ds, 0.95, method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w, e := range ests {
+			if e.Err != nil {
+				t.Fatalf("method %v worker %d: %v", method, w, e.Err)
+			}
+			if e.Scored != 400 {
+				t.Errorf("worker %d scored %d", w, e.Scored)
+			}
+			if !e.Interval.Contains(rates[w]) {
+				t.Errorf("method %v worker %d: %v misses %v", method, w, e.Interval, rates[w])
+			}
+		}
+	}
+}
+
+func TestGoldStandardExactWidest(t *testing.T) {
+	src := randx.NewSource(2)
+	ds, _, err := sim.Binary{Tasks: 100, Workers: 3}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := GoldStandardIntervals(ds, 0.9, GoldExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wilson, err := GoldStandardIntervals(ds, 0.9, GoldWilson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range exact {
+		if exact[w].Interval.Size() < wilson[w].Interval.Size()-1e-9 {
+			t.Errorf("worker %d: exact %v narrower than Wilson %v",
+				w, exact[w].Interval, wilson[w].Interval)
+		}
+	}
+}
+
+func TestGoldStandardNoGold(t *testing.T) {
+	ds := crowd.MustNewDataset(3, 10, 2)
+	if _, err := GoldStandardIntervals(ds, 0.9, GoldExact); !errors.Is(err, crowd.ErrNoGold) {
+		t.Errorf("err = %v, want ErrNoGold", err)
+	}
+}
+
+func TestGoldStandardPartialGold(t *testing.T) {
+	ds := crowd.MustNewDataset(2, 4, 2)
+	_ = ds.SetTruth(0, crowd.Yes)
+	_ = ds.SetTruth(1, crowd.Yes)
+	// Worker 0 answers both gold tasks (one wrong); worker 1 answers only
+	// non-gold tasks.
+	_ = ds.SetResponse(0, 0, crowd.Yes)
+	_ = ds.SetResponse(0, 1, crowd.No)
+	_ = ds.SetResponse(1, 2, crowd.Yes)
+	ests, err := GoldStandardIntervals(ds, 0.9, GoldExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[0].Scored != 2 || ests[0].Wrong != 1 {
+		t.Errorf("worker 0: %+v", ests[0])
+	}
+	if !errors.Is(ests[1].Err, crowd.ErrNoGold) {
+		t.Errorf("worker 1 err = %v", ests[1].Err)
+	}
+}
+
+func TestGoldStandardKAry(t *testing.T) {
+	src := randx.NewSource(3)
+	confs := []sim.Confusion{
+		sim.PaperMatricesArity3[0],
+		sim.PaperMatricesArity3[1],
+		sim.PaperMatricesArity3[2],
+	}
+	ds, _, err := sim.KAry{Tasks: 600, Workers: 3, Confusions: confs}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := GoldStandardIntervals(ds, 0.95, GoldExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marginal error rate = Σ_j s_j (1 − P[j][j]) with uniform selectivity.
+	// A 95% interval legitimately misses ~5% of the time, so demand
+	// coverage on at least 2 of the 3 workers and near-coverage always.
+	covered := 0
+	for w, e := range ests {
+		var want float64
+		for j := 0; j < 3; j++ {
+			want += (1 - confs[w][j][j]) / 3
+		}
+		if e.Interval.Contains(want) {
+			covered++
+		} else if want < e.Interval.Lo-0.05 || want > e.Interval.Hi+0.05 {
+			t.Errorf("worker %d: %v far from %v", w, e.Interval, want)
+		}
+	}
+	if covered < 2 {
+		t.Errorf("only %d/3 intervals cover the truth", covered)
+	}
+}
+
+// The headline comparison the paper's intro invites: how close do the
+// agreement-based intervals come to gold-standard intervals that consume
+// expensive expert labels? They should be in the same size regime.
+func TestAgreementVsGoldSizes(t *testing.T) {
+	src := randx.NewSource(4)
+	ds, _, err := sim.Binary{Tasks: 300, Workers: 7}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := GoldStandardIntervals(ds, 0.9, GoldWilson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, err := EvaluateWorkers(ds, EvalOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldSize, agreeSize float64
+	n := 0
+	for w := range gold {
+		if gold[w].Err != nil || agree[w].Err != nil {
+			continue
+		}
+		goldSize += gold[w].Interval.Size()
+		agreeSize += agree[w].Interval.Size()
+		n++
+	}
+	if n < 6 {
+		t.Fatalf("only %d comparable workers", n)
+	}
+	// Agreement-based intervals can't beat gold (information inequality)
+	// but should be within a small factor of it on dense data.
+	if agreeSize < goldSize {
+		t.Logf("note: agreement tighter than gold (%v vs %v) — possible on lucky draws", agreeSize/float64(n), goldSize/float64(n))
+	}
+	if agreeSize > 4*goldSize {
+		t.Errorf("agreement intervals %vx wider than gold", agreeSize/goldSize)
+	}
+}

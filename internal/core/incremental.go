@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"crowdassess/internal/crowd"
+)
+
+// Incremental maintains the sufficient statistics of Algorithm A2 online,
+// realizing the paper's closing remark that the method "can be easily
+// modified to be incremental, to keep efficiently updating worker error
+// rates as more tasks get done."
+//
+// Each added response updates pairwise agreement counts against the task's
+// previous responders in O(responders); triple common-task counts are
+// answered from per-worker attendance bitsets. Evaluating a worker then
+// costs the same as the batch algorithm on the accumulated statistics —
+// no response is ever rescanned.
+//
+// The zero value is not usable; construct with NewIncremental.
+type Incremental struct {
+	workers int
+	arity   int
+	tasks   int // highest task index seen + 1
+
+	// taskResponses[t] lists (worker, response) pairs for task t.
+	taskResponses map[int][]workerResponse
+	// responded[w] tracks whether worker w answered a given task (bitset).
+	responded []dynBitset
+	// agree/common are symmetric pairwise counters.
+	agree  [][]int
+	common [][]int
+}
+
+type workerResponse struct {
+	worker int
+	resp   crowd.Response
+}
+
+// dynBitset is a growable bitset over task indices.
+type dynBitset []uint64
+
+func (b *dynBitset) set(i int) {
+	word := i / 64
+	for len(*b) <= word {
+		*b = append(*b, 0)
+	}
+	(*b)[word] |= 1 << (uint(i) % 64)
+}
+
+func (b dynBitset) get(i int) bool {
+	word := i / 64
+	return word < len(b) && b[word]&(1<<(uint(i)%64)) != 0
+}
+
+// and3Count returns |a ∩ b ∩ c|.
+func and3Count(a, b, c dynBitset) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if len(c) < n {
+		n = len(c)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += bits.OnesCount64(a[i] & b[i] & c[i])
+	}
+	return total
+}
+
+// NewIncremental returns an empty streaming evaluator for the given number
+// of binary workers (arity is fixed at 2: the streaming path wraps
+// Algorithm A2).
+func NewIncremental(workers int) (*Incremental, error) {
+	if workers < 3 {
+		return nil, fmt.Errorf("core: need at least 3 workers, have %d: %w", workers, ErrInsufficientData)
+	}
+	inc := &Incremental{
+		workers:       workers,
+		arity:         2,
+		taskResponses: make(map[int][]workerResponse),
+		responded:     make([]dynBitset, workers),
+		agree:         make([][]int, workers),
+		common:        make([][]int, workers),
+	}
+	for i := range inc.agree {
+		inc.agree[i] = make([]int, workers)
+		inc.common[i] = make([]int, workers)
+	}
+	return inc, nil
+}
+
+// Workers returns the number of workers tracked.
+func (inc *Incremental) Workers() int { return inc.workers }
+
+// Tasks returns the number of distinct task indices seen.
+func (inc *Incremental) Tasks() int { return inc.tasks }
+
+// Responses returns the total number of responses recorded.
+func (inc *Incremental) Responses() int {
+	n := 0
+	for _, rs := range inc.taskResponses {
+		n += len(rs)
+	}
+	return n
+}
+
+// Add records worker w's response r on task t. A worker may answer a task
+// only once; duplicate or out-of-range submissions are rejected.
+func (inc *Incremental) Add(w, t int, r crowd.Response) error {
+	if w < 0 || w >= inc.workers {
+		return fmt.Errorf("core: worker %d out of range 0…%d", w, inc.workers-1)
+	}
+	if t < 0 {
+		return fmt.Errorf("core: negative task index %d", t)
+	}
+	if r != crowd.Yes && r != crowd.No {
+		return fmt.Errorf("core: streaming evaluator is binary; response %d: %w", r, crowd.ErrArity)
+	}
+	if inc.responded[w].get(t) {
+		return fmt.Errorf("core: worker %d already answered task %d", w, t)
+	}
+	for _, prev := range inc.taskResponses[t] {
+		inc.common[w][prev.worker]++
+		inc.common[prev.worker][w]++
+		if prev.resp == r {
+			inc.agree[w][prev.worker]++
+			inc.agree[prev.worker][w]++
+		}
+	}
+	inc.taskResponses[t] = append(inc.taskResponses[t], workerResponse{w, r})
+	inc.responded[w].set(t)
+	if t+1 > inc.tasks {
+		inc.tasks = t + 1
+	}
+	return nil
+}
+
+// pair implements agreementSource over the streaming counters.
+func (inc *Incremental) pair(i, j int) crowd.PairStats {
+	if i == j {
+		// Self-agreement, as PairMatrix defines it.
+		n := 0
+		for _, word := range inc.responded[i] {
+			n += bits.OnesCount64(word)
+		}
+		return crowd.PairStats{Common: n, Agree: n}
+	}
+	return crowd.PairStats{Common: inc.common[i][j], Agree: inc.agree[i][j]}
+}
+
+// common3 implements agreementSource over the attendance bitsets.
+func (inc *Incremental) common3(i, j, k int) int {
+	return and3Count(inc.responded[i], inc.responded[j], inc.responded[k])
+}
+
+// Evaluate returns the current error-rate interval for one worker, from the
+// statistics accumulated so far.
+func (inc *Incremental) Evaluate(worker int, opts EvalOptions) (WorkerEstimate, error) {
+	if err := checkConfidence(opts.Confidence); err != nil {
+		return WorkerEstimate{}, err
+	}
+	if worker < 0 || worker >= inc.workers {
+		return WorkerEstimate{}, fmt.Errorf("core: worker %d out of range", worker)
+	}
+	minCommon := opts.MinCommon
+	if minCommon <= 0 {
+		minCommon = 1
+	}
+	d := evaluateOne(inc, inc.workers, worker, opts, minCommon)
+	est := WorkerEstimate{Worker: d.Worker, Triples: d.Triples, Err: d.Err}
+	if d.Err == nil {
+		est.Interval = d.Est.Interval(opts.Confidence).ClampTo(0, 1)
+	}
+	return est, nil
+}
+
+// EvaluateAll returns current intervals for every worker.
+func (inc *Incremental) EvaluateAll(opts EvalOptions) ([]WorkerEstimate, error) {
+	if err := checkConfidence(opts.Confidence); err != nil {
+		return nil, err
+	}
+	out := make([]WorkerEstimate, inc.workers)
+	for w := 0; w < inc.workers; w++ {
+		est, err := inc.Evaluate(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[w] = est
+	}
+	return out, nil
+}
+
+// Snapshot materializes the accumulated responses as a Dataset, for
+// interoperability with the batch algorithms (pruning, k-ary analysis,
+// serialization).
+func (inc *Incremental) Snapshot() (*crowd.Dataset, error) {
+	if inc.tasks == 0 {
+		return nil, fmt.Errorf("core: no responses recorded: %w", ErrInsufficientData)
+	}
+	ds, err := crowd.NewDataset(inc.workers, inc.tasks, inc.arity)
+	if err != nil {
+		return nil, err
+	}
+	for t, rs := range inc.taskResponses {
+		for _, wr := range rs {
+			if err := ds.SetResponse(wr.worker, t, wr.resp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}
+
+// MajorityDisagreement mirrors Dataset.MajorityDisagreement on the
+// accumulated responses, so streaming deployments can run the paper's
+// spammer screen without materializing a snapshot.
+func (inc *Incremental) MajorityDisagreement() []float64 {
+	attempted := make([]int, inc.workers)
+	disagree := make([]int, inc.workers)
+	for _, rs := range inc.taskResponses {
+		yes := 0
+		for _, wr := range rs {
+			if wr.resp == crowd.Yes {
+				yes++
+			}
+		}
+		no := len(rs) - yes
+		var maj crowd.Response
+		switch {
+		case yes > no:
+			maj = crowd.Yes
+		case no > yes:
+			maj = crowd.No
+		default:
+			maj = crowd.Yes // deterministic tie-break, matching MajorityVote
+		}
+		for _, wr := range rs {
+			attempted[wr.worker]++
+			if wr.resp != maj {
+				disagree[wr.worker]++
+			}
+		}
+	}
+	out := make([]float64, inc.workers)
+	for w := range out {
+		if attempted[w] > 0 {
+			out[w] = float64(disagree[w]) / float64(attempted[w])
+		}
+	}
+	return out
+}

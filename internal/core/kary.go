@@ -1,0 +1,510 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/mat"
+	"crowdassess/internal/stat"
+)
+
+// KAryOptions configures ThreeWorkerKAry (Algorithm A3).
+type KAryOptions struct {
+	// Confidence is the interval confidence level c ∈ (0,1). Required.
+	Confidence float64
+	// Epsilon is the step of the central-difference derivatives over the
+	// counts tensor. Zero selects the paper's 0.01.
+	Epsilon float64
+	// StrictSpectrum makes the spectral step fail with ErrDegenerate when
+	// the second-moment matrix has non-positive eigenvalues, instead of
+	// clamping them (clamping is the default; see DESIGN.md ablation #3).
+	StrictSpectrum bool
+	// RawEigen skips the symmetrization of R₁,₂·R₃,₂⁻¹·R₃,₁ before its
+	// eigendecomposition, using the general QR path on the raw estimate
+	// (ablation #3). Default false: symmetrize, which is principled because
+	// the matrix is symmetric PSD in exact arithmetic (Lemma 7).
+	RawEigen bool
+}
+
+// KAryEstimate is the result of Algorithm A3 for an ordered worker triple.
+type KAryEstimate struct {
+	// Prob[i] is worker i's estimated k×k response-probability matrix
+	// (rows normalized to sum 1).
+	Prob [3]*mat.Matrix
+	// Intervals[i][j1][j2] is the confidence interval for Prob[i][j1][j2]
+	// (0-based indices for classes j1+1, j2+1).
+	Intervals [3][][]stat.Interval
+	// Selectivity is the estimated prior over true classes.
+	Selectivity []float64
+}
+
+// KAryDelta is the confidence-level-independent part of an Algorithm A3
+// estimate: normalized response-probability means and deviations, from
+// which Intervals derives an interval set at any level.
+type KAryDelta struct {
+	// Mean[i] and Dev[i] are worker i's k×k response-probability point
+	// estimates and delta-method standard deviations (already normalized
+	// into probability space).
+	Mean [3]*mat.Matrix
+	Dev  [3]*mat.Matrix
+	// Selectivity is the estimated prior over true classes.
+	Selectivity []float64
+}
+
+// Intervals materializes the c-confidence estimate from the deltas.
+func (d *KAryDelta) Intervals(c float64) *KAryEstimate {
+	k := d.Mean[0].Rows()
+	out := &KAryEstimate{Selectivity: append([]float64(nil), d.Selectivity...)}
+	for w := 0; w < 3; w++ {
+		probs := mat.New(k, k)
+		ivs := make([][]stat.Interval, k)
+		for a := 0; a < k; a++ {
+			ivs[a] = make([]stat.Interval, k)
+			for b := 0; b < k; b++ {
+				mean := d.Mean[w].At(a, b)
+				de := DeltaEstimate{Mean: mean, Dev: d.Dev[w].At(a, b)}
+				ivs[a][b] = de.Interval(c).ClampTo(0, 1)
+				probs.Set(a, b, stat.Clamp01(mean))
+			}
+		}
+		out.Prob[w] = probs
+		out.Intervals[w] = ivs
+	}
+	return out
+}
+
+// ThreeWorkerKAry runs Algorithm A3 on the ordered worker triple: it
+// estimates each worker's k×k response-probability matrix with confidence
+// intervals, using only the three workers' responses (no gold answers).
+func ThreeWorkerKAry(ds *crowd.Dataset, workers [3]int, opts KAryOptions) (*KAryEstimate, error) {
+	if err := checkConfidence(opts.Confidence); err != nil {
+		return nil, err
+	}
+	delta, err := ThreeWorkerKAryDelta(ds, workers, opts)
+	if err != nil {
+		return nil, err
+	}
+	return delta.Intervals(opts.Confidence), nil
+}
+
+// ThreeWorkerKAryDelta is ThreeWorkerKAry without committing to a confidence
+// level. opts.Confidence is ignored here.
+func ThreeWorkerKAryDelta(ds *crowd.Dataset, workers [3]int, opts KAryOptions) (*KAryDelta, error) {
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = 0.01
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("core: negative epsilon %v", eps)
+	}
+	k := ds.Arity()
+	counts := ds.CountsTensor(workers[0], workers[1], workers[2])
+
+	// Step 3 of Algorithm A3: the point estimate.
+	base, err := probEstimate(counts, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: covariances of the k³ all-attempted count entries (Lemma 9).
+	// Restricted to entries with all three workers responding, the counts
+	// are a multinomial over the n₁,₂,₃ tasks attempted by all three.
+	nAll := counts.AttendanceTotal([3]bool{true, true, true})
+	if nAll <= 0 {
+		return nil, fmt.Errorf("core: no tasks attempted by all three workers: %w", ErrInsufficientData)
+	}
+	nEntries := k * k * k
+	flat := func(j1, j2, j3 int) int { return ((j1-1)*k+(j2-1))*k + (j3 - 1) }
+	cov := mat.New(nEntries, nEntries)
+	for j1 := 1; j1 <= k; j1++ {
+		for j2 := 1; j2 <= k; j2++ {
+			for j3 := 1; j3 <= k; j3++ {
+				a := flat(j1, j2, j3)
+				ca := counts.At(j1, j2, j3)
+				for i1 := 1; i1 <= k; i1++ {
+					for i2 := 1; i2 <= k; i2++ {
+						for i3 := 1; i3 <= k; i3++ {
+							b := flat(i1, i2, i3)
+							if b < a {
+								continue
+							}
+							cb := counts.At(i1, i2, i3)
+							var v float64
+							if a == b {
+								v = ca * (nAll - ca) / nAll
+							} else {
+								v = -ca * cb / nAll
+							}
+							cov.Set(a, b, v)
+							cov.Set(b, a, v)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Steps 5–6: central-difference derivatives of every estimated element
+	// with respect to every all-attempted count entry.
+	grads := [3][]*vGrad{newVGrads(k), newVGrads(k), newVGrads(k)}
+	work := counts.Clone()
+	for j1 := 1; j1 <= k; j1++ {
+		for j2 := 1; j2 <= k; j2++ {
+			for j3 := 1; j3 <= k; j3++ {
+				e := flat(j1, j2, j3)
+				work.Add(j1, j2, j3, eps)
+				plus, errP := probEstimate(work, opts)
+				work.Add(j1, j2, j3, -2*eps)
+				minus, errM := probEstimate(work, opts)
+				work.Add(j1, j2, j3, eps) // restore
+				if errP != nil || errM != nil {
+					return nil, fmt.Errorf("core: perturbed estimate failed: %w", ErrDegenerate)
+				}
+				for w := 0; w < 3; w++ {
+					for a := 0; a < k; a++ {
+						for b := 0; b < k; b++ {
+							d := (plus.v[w].At(a, b) - minus.v[w].At(a, b)) / (2 * eps)
+							grads[w][a*k+b].d[e] = d
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Step 7: mean and deviation for each V element via Theorem 1, then row
+	// normalization to turn V = S^{1/2}·P estimates into P estimates.
+	out := &KAryDelta{Selectivity: make([]float64, k)}
+	selAccum := make([]float64, k)
+	for w := 0; w < 3; w++ {
+		out.Mean[w] = mat.New(k, k)
+		out.Dev[w] = mat.New(k, k)
+		for a := 0; a < k; a++ {
+			rowSum := 0.0
+			for b := 0; b < k; b++ {
+				rowSum += base.v[w].At(a, b)
+			}
+			if rowSum <= 0 {
+				return nil, fmt.Errorf("core: non-positive row sum in V%d: %w", w+1, ErrDegenerate)
+			}
+			// Row sum of S^{1/2}P is √s_a; accumulate the selectivity estimate.
+			selAccum[a] += rowSum * rowSum / 3
+			for b := 0; b < k; b++ {
+				de, err := DeltaMethod(base.v[w].At(a, b), grads[w][a*k+b].d, cov)
+				if err != nil {
+					return nil, err
+				}
+				// Normalize into response-probability space.
+				out.Mean[w].Set(a, b, de.Mean/rowSum)
+				out.Dev[w].Set(a, b, de.Dev/rowSum)
+			}
+		}
+	}
+	var selTotal float64
+	for _, s := range selAccum {
+		selTotal += s
+	}
+	if selTotal > 0 {
+		for a := 0; a < k; a++ {
+			out.Selectivity[a] = selAccum[a] / selTotal
+		}
+	}
+	return out, nil
+}
+
+// vGrad carries the gradient of one V element over the k³ count entries.
+type vGrad struct{ d []float64 }
+
+func newVGrads(k int) []*vGrad {
+	out := make([]*vGrad, k*k)
+	for i := range out {
+		out[i] = &vGrad{d: make([]float64, k*k*k)}
+	}
+	return out
+}
+
+// vEstimates holds the three V_i = S^{1/2}·P_i point estimates.
+type vEstimates struct {
+	v [3]*mat.Matrix
+}
+
+// probEstimate implements the paper's ProbEstimate procedure: from the
+// counts tensor it recovers estimates of V_i = S^{1/2}_D·P_i for the three
+// workers using the spectral decomposition of pairwise response-frequency
+// matrices (Lemmas 6–8).
+func probEstimate(counts *crowd.Tensor3, opts KAryOptions) (*vEstimates, error) {
+	k := counts.Arity()
+
+	// Step 1: attendance totals.
+	nAll := counts.AttendanceTotal([3]bool{true, true, true})
+	n12 := counts.AttendanceTotal([3]bool{true, true, false})
+	n23 := counts.AttendanceTotal([3]bool{false, true, true})
+	n31 := counts.AttendanceTotal([3]bool{true, false, true})
+	if nAll <= 0 {
+		return nil, fmt.Errorf("core: no tasks attempted by all three workers: %w", ErrInsufficientData)
+	}
+
+	// Step 2: response-frequency matrices.
+	r12 := mat.New(k, k)
+	r23 := mat.New(k, k)
+	r31 := mat.New(k, k)
+	den12, den23, den31 := nAll+n12, nAll+n23, nAll+n31
+	for a := 1; a <= k; a++ {
+		for b := 1; b <= k; b++ {
+			var s12, s23, s31 float64
+			for K := 0; K <= k; K++ {
+				s12 += counts.At(a, b, K)
+				s23 += counts.At(K, a, b)
+				s31 += counts.At(b, K, a)
+			}
+			r12.Set(a-1, b-1, s12/den12)
+			r23.Set(a-1, b-1, s23/den23)
+			r31.Set(a-1, b-1, s31/den31)
+		}
+	}
+	r13 := r31.T()
+	r32 := r23.T()
+
+	// Step 3: eigendecomposition of M = R₁,₂·R₃,₂⁻¹·R₃,₁ = V₁ᵀV₁ (Lemma 7).
+	r32inv, err := r32.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("core: R₃,₂ singular: %w", ErrDegenerate)
+	}
+	m := r12.Mul(r32inv).Mul(r31)
+
+	// Step 4: U₁ = E·D^{1/2}·E⁻¹, the square root of M. M is symmetric PSD
+	// in exact arithmetic; by default we symmetrize the estimate and use the
+	// orthogonal Jacobi decomposition (E⁻¹ = Eᵀ).
+	var u1 *mat.Matrix
+	if opts.RawEigen {
+		eg, err := m.EigenDecompose()
+		if err != nil {
+			return nil, fmt.Errorf("core: eigen of R-product: %v: %w", err, ErrDegenerate)
+		}
+		vals, err := clampSpectrum(eg.Values, opts.StrictSpectrum)
+		if err != nil {
+			return nil, err
+		}
+		einv, err := eg.Vectors.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("core: eigenvectors singular: %w", ErrDegenerate)
+		}
+		u1 = eg.Vectors.Mul(mat.Diagonal(sqrtAll(vals))).Mul(einv)
+	} else {
+		eg, err := m.EigenSym()
+		if err != nil {
+			return nil, err
+		}
+		vals, err := clampSpectrum(eg.Values, opts.StrictSpectrum)
+		if err != nil {
+			return nil, err
+		}
+		u1 = eg.Vectors.Mul(mat.Diagonal(sqrtAll(vals))).Mul(eg.Vectors.T())
+	}
+
+	// U₂ = (U₁ᵀ)⁻¹·R₁,₂, so that V_i = U·U_i for a common unitary U
+	// (Lemma 7). U₃ is never needed: step 7 recovers V₂ and V₃ from V₁.
+	u1invT, err := u1.T().Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("core: U₁ singular: %w", ErrDegenerate)
+	}
+	u2 := u1invT.Mul(r12)
+	u2inv, err := u2.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("core: U₂ singular: %w", ErrDegenerate)
+	}
+
+	// Steps 5–6: recover the unitary U from the conditional response
+	// frequencies, once per conditioning response j₃ of worker 3, and
+	// average the aligned V₁ estimates.
+	v1sum := mat.New(k, k)
+	usable := 0
+	for j3 := 1; j3 <= k; j3++ {
+		var nj3 float64
+		for a := 1; a <= k; a++ {
+			for b := 1; b <= k; b++ {
+				nj3 += counts.At(a, b, j3)
+			}
+		}
+		if nj3 <= 0 {
+			continue // worker 3 never answered j₃ on fully-attempted tasks
+		}
+		r123 := mat.New(k, k)
+		for a := 1; a <= k; a++ {
+			for b := 1; b <= k; b++ {
+				r123.Set(a-1, b-1, counts.At(a, b, j3)/nj3)
+			}
+		}
+		// B = (U₁ᵀ)⁻¹·R₁,₂|₃,j₃·U₂⁻¹ = U⁻¹·(W₃,j₃/p(j₃))·U (Lemma 8): its
+		// eigenvector matrix X satisfies U = rows-normalized X⁻¹ up to row
+		// permutation and sign.
+		b := u1invT.Mul(r123).Mul(u2inv)
+		eg, err := b.EigenDecompose()
+		if err != nil {
+			continue // complex pair for this j₃; skip it
+		}
+		// The eigenvalues of B are worker 3's response probabilities for j₃
+		// (rescaled); a (near-)repeated eigenvalue — e.g. two true classes
+		// that both almost never elicit response j₃ — leaves the
+		// corresponding eigenvectors unidentifiable, so that conditioning
+		// response contributes no usable estimate.
+		if spectrumDegenerate(eg.Values) {
+			continue
+		}
+		xinv, err := eg.Vectors.Inverse()
+		if err != nil {
+			continue
+		}
+		u := normalizeRows(xinv)
+		v1 := u.Mul(u1)
+		fixSigns(v1, u)
+		aligned := alignRows(v1)
+		v1sum = v1sum.Plus(aligned)
+		usable++
+	}
+	if usable == 0 {
+		return nil, fmt.Errorf("core: no usable conditional decomposition: %w", ErrDegenerate)
+	}
+	v1 := v1sum.Scale(1 / float64(usable))
+
+	// Step 7: V₂ = (V₁ᵀ)⁻¹·R₁,₂ and V₃ = (V₁ᵀ)⁻¹·R₁,₃.
+	v1invT, err := v1.T().Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("core: V₁ singular: %w", ErrDegenerate)
+	}
+	return &vEstimates{v: [3]*mat.Matrix{v1, v1invT.Mul(r12), v1invT.Mul(r13)}}, nil
+}
+
+// spectrumDegenerate reports whether any two eigenvalues are too close for
+// their eigenvectors to be individually identifiable. Values arrive sorted
+// descending from EigenDecompose.
+func spectrumDegenerate(vals []float64) bool {
+	if len(vals) < 2 {
+		return false
+	}
+	spread := vals[0] - vals[len(vals)-1]
+	if spread <= 0 {
+		return true
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1]-vals[i] < 1e-6*spread {
+			return true
+		}
+	}
+	return false
+}
+
+// clampSpectrum guards the square root of the second-moment spectrum:
+// eigenvalues are clamped below at a small fraction of the dominant one
+// (or rejected under StrictSpectrum).
+func clampSpectrum(vals []float64, strict bool) ([]float64, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("core: empty spectrum: %w", ErrDegenerate)
+	}
+	max := vals[0]
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return nil, fmt.Errorf("core: non-positive spectrum: %w", ErrDegenerate)
+	}
+	floor := 1e-9 * max
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if v < floor {
+			if strict {
+				return nil, fmt.Errorf("core: eigenvalue %g below floor: %w", v, ErrDegenerate)
+			}
+			v = floor
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func sqrtAll(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Sqrt(v)
+	}
+	return out
+}
+
+// normalizeRows scales each row of m to unit L2 norm, removing the
+// arbitrary per-eigenvector scaling of the spectral step.
+func normalizeRows(m *mat.Matrix) *mat.Matrix {
+	out := m.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		var s float64
+		for j := 0; j < out.Cols(); j++ {
+			s += out.At(i, j) * out.At(i, j)
+		}
+		s = math.Sqrt(s)
+		if s == 0 {
+			continue
+		}
+		for j := 0; j < out.Cols(); j++ {
+			out.Set(i, j, out.At(i, j)/s)
+		}
+	}
+	return out
+}
+
+// fixSigns flips rows of v1 (and the matching rows of u) whose sum is
+// negative: V₁ = S^{1/2}·P₁ has nonnegative entries, so a negative row sum
+// means the eigenvector's sign was flipped.
+func fixSigns(v1, u *mat.Matrix) {
+	for i := 0; i < v1.Rows(); i++ {
+		var s float64
+		for j := 0; j < v1.Cols(); j++ {
+			s += v1.At(i, j)
+		}
+		if s < 0 {
+			for j := 0; j < v1.Cols(); j++ {
+				v1.Set(i, j, -v1.At(i, j))
+				u.Set(i, j, -u.At(i, j))
+			}
+		}
+	}
+}
+
+// alignRows permutes rows so each row's dominant element lands on the
+// diagonal (the paper's step 6.d: worker matrices are diagonally dominant
+// per row). A greedy assignment on the globally largest entries resolves
+// conflicts deterministically.
+func alignRows(v *mat.Matrix) *mat.Matrix {
+	k := v.Rows()
+	rowTaken := make([]bool, k)
+	colTaken := make([]bool, k)
+	position := make([]int, k) // position[c] = source row placed at row c
+	for step := 0; step < k; step++ {
+		bestR, bestC, bestV := -1, -1, math.Inf(-1)
+		for r := 0; r < k; r++ {
+			if rowTaken[r] {
+				continue
+			}
+			for c := 0; c < k; c++ {
+				if colTaken[c] {
+					continue
+				}
+				if v.At(r, c) > bestV {
+					bestR, bestC, bestV = r, c, v.At(r, c)
+				}
+			}
+		}
+		rowTaken[bestR] = true
+		colTaken[bestC] = true
+		position[bestC] = bestR
+	}
+	out := mat.New(k, k)
+	for c := 0; c < k; c++ {
+		src := position[c]
+		for j := 0; j < k; j++ {
+			out.Set(c, j, v.At(src, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+func TestKAryPanelRecoversMatrices(t *testing.T) {
+	src := randx.NewSource(1)
+	// 7 workers drawn from the paper's arity-3 matrices; the panel should
+	// recover everyone's matrix, not just a fixed triple's.
+	ds, confs, err := sim.KAry{
+		Tasks:            4000,
+		Workers:          7,
+		ConfusionChoices: sim.PaperMatricesArity3,
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := EvaluateWorkersKAry(ds, KAryPanelOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 7 {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	for _, e := range ests {
+		if e.Err != nil {
+			t.Errorf("worker %d: %v", e.Worker, e.Err)
+			continue
+		}
+		if e.Triples < 1 {
+			t.Errorf("worker %d used %d triples", e.Worker, e.Triples)
+		}
+		for a := 0; a < 3; a++ {
+			got := e.Mean.At(a, a)
+			want := confs[e.Worker][a][a]
+			if math.Abs(got-want) > 0.08 {
+				t.Errorf("worker %d diag %d: %v, want ≈%v", e.Worker, a, got, want)
+			}
+		}
+	}
+}
+
+func TestKAryPanelMoreTriplesTighter(t *testing.T) {
+	// With 7 workers each worker gets 3 triples; capping at 1 should give
+	// (weakly) wider combined deviations on average.
+	src := randx.NewSource(2)
+	ds, _, err := sim.KAry{
+		Tasks:            2000,
+		Workers:          7,
+		ConfusionChoices: sim.PaperMatricesArity2,
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := EvaluateWorkersKAry(ds, KAryPanelOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := EvaluateWorkersKAry(ds, KAryPanelOptions{Confidence: 0.9, MaxTriples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullDev, cappedDev float64
+	n := 0
+	for w := range full {
+		if full[w].Err != nil || capped[w].Err != nil {
+			continue
+		}
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				fullDev += full[w].Dev.At(a, b)
+				cappedDev += capped[w].Dev.At(a, b)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no comparable estimates")
+	}
+	if fullDev > cappedDev*1.001 {
+		t.Errorf("more triples did not tighten: full %v vs capped %v", fullDev/float64(n), cappedDev/float64(n))
+	}
+}
+
+func TestKAryPanelIntervals(t *testing.T) {
+	src := randx.NewSource(3)
+	ds, confs, err := sim.KAry{
+		Tasks:            3000,
+		Workers:          5,
+		ConfusionChoices: sim.PaperMatricesArity2,
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := EvaluateWorkersKAry(ds, KAryPanelOptions{Confidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, total := 0, 0
+	for _, e := range ests {
+		if e.Err != nil {
+			continue
+		}
+		ivs := e.Intervals(0.95)
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				total++
+				if ivs[a][b].Contains(confs[e.Worker][a][b]) {
+					hits++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no intervals")
+	}
+	if cov := float64(hits) / float64(total); cov < 0.75 {
+		t.Errorf("panel interval coverage %v at c=0.95", cov)
+	}
+}
+
+func TestKAryPanelValidation(t *testing.T) {
+	ds := crowd.MustNewDataset(2, 10, 3)
+	if _, err := EvaluateWorkersKAry(ds, KAryPanelOptions{Confidence: 0.9}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("2 workers: err = %v", err)
+	}
+	ds3 := crowd.MustNewDataset(3, 10, 3)
+	if _, err := EvaluateWorkersKAry(ds3, KAryPanelOptions{Confidence: 0}); err == nil {
+		t.Error("confidence 0 accepted")
+	}
+	// Empty dataset: per-worker insufficient-data errors, not a global one.
+	ests, err := EvaluateWorkersKAry(ds3, KAryPanelOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ests {
+		if !errors.Is(e.Err, ErrInsufficientData) {
+			t.Errorf("worker %d err = %v", e.Worker, e.Err)
+		}
+	}
+}
+
+func TestKAryPanelSparse(t *testing.T) {
+	// Sparse data: panel still produces estimates for well-connected
+	// workers and flags the isolated one.
+	src := randx.NewSource(4)
+	densities := []float64{0.9, 0.9, 0.9, 0.9, 0.9, 0}
+	ds, _, err := sim.KAry{
+		Tasks:            1500,
+		Workers:          6,
+		ConfusionChoices: sim.PaperMatricesArity2,
+		Densities:        densities,
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests, err := EvaluateWorkersKAry(ds, KAryPanelOptions{Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ests[5].Err == nil {
+		t.Error("isolated worker got an estimate")
+	}
+	usable := 0
+	for w := 0; w < 5; w++ {
+		if ests[w].Err == nil {
+			usable++
+		}
+	}
+	if usable < 4 {
+		t.Errorf("only %d/5 connected workers evaluated", usable)
+	}
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/mat"
+	"crowdassess/internal/stat"
+)
+
+// WeightStrategy selects how Algorithm A2 combines the estimates from a
+// worker's triples (Section III-C1, "Setting a_k").
+type WeightStrategy int
+
+const (
+	// OptimalWeights minimizes the combined variance via Lemma 5:
+	// a = C⁻¹𝟙 / ‖C⁻¹𝟙‖₁. This is the paper's default and the subject of
+	// the Fig. 2(c) ablation.
+	OptimalWeights WeightStrategy = iota
+	// UniformWeights sets every a_k = 1/l. Valid but looser intervals.
+	UniformWeights
+)
+
+// PairingStrategy selects how the remaining workers are split into pairs
+// (Section III-C1, "Selecting triples").
+type PairingStrategy int
+
+const (
+	// GreedyPairing sorts candidates by common-task count with the evaluated
+	// worker and pairs them greedily — the paper's strategy, which
+	// concentrates quality in a few excellent triples.
+	GreedyPairing PairingStrategy = iota
+	// ArbitraryPairing pairs candidates in index order. Used as the
+	// ablation baseline for the pairing strategy.
+	ArbitraryPairing
+)
+
+// EvalOptions configures EvaluateWorkers.
+type EvalOptions struct {
+	// Confidence is the interval confidence level c ∈ (0,1). Required.
+	Confidence float64
+	// Weights selects the triple-combination strategy (default optimal).
+	Weights WeightStrategy
+	// Pairing selects the triple-formation strategy (default greedy).
+	Pairing PairingStrategy
+	// MinCommon is the minimum number of common tasks for a pair of workers
+	// to be usable. The paper requires at least one; higher values trade
+	// coverage for stability. Zero means 1.
+	MinCommon int
+	// Parallel evaluates workers on GOMAXPROCS goroutines. Per-worker
+	// evaluations are independent (they share only the read-only statistics
+	// cache), so results are identical to the serial path.
+	Parallel bool
+}
+
+// WorkerEstimate is the outcome of evaluating one worker with Algorithm A2.
+type WorkerEstimate struct {
+	Worker   int           // worker index in the dataset
+	Interval stat.Interval // confidence interval for the error rate
+	Triples  int           // number of triples aggregated
+	Err      error         // non-nil when no estimate exists for this worker
+}
+
+// WorkerDelta is the confidence-level-independent part of a worker's
+// Algorithm A2 estimate: an interval at any level c is
+// Est.Interval(c).ClampTo(0, 1). Experiment harnesses sweeping confidence
+// levels use this to estimate once and derive every interval.
+type WorkerDelta struct {
+	Worker  int
+	Est     DeltaEstimate
+	Triples int
+	Err     error
+}
+
+// EvaluateWorkers runs Algorithm A2: for every worker it forms triples with
+// pairs of other workers, runs the 3-worker estimator per triple, and
+// combines the per-triple estimates with covariance-aware weights into a
+// single confidence interval. Workers whose data is insufficient or
+// degenerate get a non-nil Err in their slot; the method never fails as a
+// whole unless the dataset or options are invalid.
+func EvaluateWorkers(ds *crowd.Dataset, opts EvalOptions) ([]WorkerEstimate, error) {
+	if err := checkConfidence(opts.Confidence); err != nil {
+		return nil, err
+	}
+	deltas, err := EvaluateWorkersDelta(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorkerEstimate, len(deltas))
+	for i, d := range deltas {
+		out[i] = WorkerEstimate{Worker: d.Worker, Triples: d.Triples, Err: d.Err}
+		if d.Err == nil {
+			out[i].Interval = d.Est.Interval(opts.Confidence).ClampTo(0, 1)
+		}
+	}
+	return out, nil
+}
+
+// EvaluateWorkersDelta is EvaluateWorkers without committing to a confidence
+// level: it returns each worker's delta-method mean and deviation.
+// opts.Confidence is ignored here.
+func EvaluateWorkersDelta(ds *crowd.Dataset, opts EvalOptions) ([]WorkerDelta, error) {
+	if ds.Arity() != 2 {
+		return nil, fmt.Errorf("core: EvaluateWorkers needs a binary dataset, got arity %d", ds.Arity())
+	}
+	m := ds.Workers()
+	if m < 3 {
+		return nil, fmt.Errorf("core: need at least 3 workers, have %d: %w", m, ErrInsufficientData)
+	}
+	minCommon := opts.MinCommon
+	if minCommon <= 0 {
+		minCommon = 1
+	}
+	cache := newFullStatsCache(ds)
+	out := make([]WorkerDelta, m)
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i := 0; i < m; i++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				out[i] = evaluateOne(cache, m, i, opts, minCommon)
+			}(i)
+		}
+		wg.Wait()
+		return out, nil
+	}
+	for i := 0; i < m; i++ {
+		out[i] = evaluateOne(cache, m, i, opts, minCommon)
+	}
+	return out, nil
+}
+
+// agreementSource is what Algorithm A2 needs from its statistics provider:
+// pairwise agreement statistics and triple common-task counts. Both the
+// batch cache (fullStatsCache) and the streaming evaluator implement it.
+type agreementSource interface {
+	pairSource
+}
+
+// evaluateOne runs steps 1–3 of Algorithm A2 for a single worker.
+func evaluateOne(cache agreementSource, m, i int, opts EvalOptions, minCommon int) WorkerDelta {
+	est := WorkerDelta{Worker: i}
+	pairs := formPairs(cache, m, i, opts.Pairing, minCommon)
+	if len(pairs) == 0 {
+		est.Err = fmt.Errorf("core: worker %d has no usable triple: %w", i, ErrInsufficientData)
+		return est
+	}
+
+	// Step 2: per-triple statistics and delta estimates for worker i.
+	type tripleResult struct {
+		st    *tripleStats
+		est   DeltaEstimate
+		j1    int // partner workers
+		j2    int
+		dQij1 float64 // ∂p_i/∂q_{i,j1}
+		dQij2 float64 // ∂p_i/∂q_{i,j2}
+	}
+	var triples []tripleResult
+	for _, pr := range pairs {
+		st, err := newTripleStats(cache, i, pr[0], pr[1])
+		if err != nil {
+			continue // degenerate triple: skip, as the 500-replicate harness does
+		}
+		de, err := st.estimate(0) // worker i sits at position 0 of the triple
+		if err != nil {
+			continue
+		}
+		triples = append(triples, tripleResult{
+			st: st, est: de, j1: pr[0], j2: pr[1],
+			// For triple (i, j1, j2): q-vector is (q_{i,j1}, q_{i,j2}, q_{j1,j2}),
+			// so worker i's own-pair derivatives are components 0 and 1.
+			dQij1: st.grad[0][0],
+			dQij2: st.grad[0][1],
+		})
+	}
+	l := len(triples)
+	if l == 0 {
+		est.Err = fmt.Errorf("core: worker %d: all triples degenerate: %w", i, ErrDegenerate)
+		return est
+	}
+	est.Triples = l
+
+	// Pooled error-rate estimate for worker i, used inside Lemma 4's C(i,·,·).
+	var pPool float64
+	for _, tr := range triples {
+		pPool += tr.est.Mean
+	}
+	pPool /= float64(l)
+	pPool = stat.Clamp01(pPool)
+
+	// Step 3: the l×l covariance matrix of the triple estimates (Lemma 4).
+	cov := mat.New(l, l)
+	for k1 := 0; k1 < l; k1++ {
+		cov.Set(k1, k1, triples[k1].est.Dev*triples[k1].est.Dev)
+		for k2 := k1 + 1; k2 < l; k2++ {
+			t1, t2 := triples[k1], triples[k2]
+			c := 0.0
+			for _, a := range []struct {
+				d float64
+				j int
+			}{{t1.dQij1, t1.j1}, {t1.dQij2, t1.j2}} {
+				for _, b := range []struct {
+					d float64
+					j int
+				}{{t2.dQij1, t2.j1}, {t2.dQij2, t2.j2}} {
+					c += a.d * b.d * lemma4C(cache, i, a.j, b.j, pPool)
+				}
+			}
+			cov.Set(k1, k2, c)
+			cov.Set(k2, k1, c)
+		}
+	}
+
+	// Combination weights (Lemma 5 or uniform).
+	weights := uniformWeights(l)
+	if opts.Weights == OptimalWeights && l > 1 {
+		if w, err := optimalWeights(cov); err == nil {
+			weights = w
+		}
+	}
+
+	// Final estimate: p̂_i = Σ a_k p_{k,i}; Var = aᵀCa (Theorem 1 with the
+	// linear function f = Σ a_k x_k, whose gradient is the weight vector).
+	var mean float64
+	for k, tr := range triples {
+		mean += weights[k] * tr.est.Mean
+	}
+	de, err := DeltaMethod(mean, weights, cov)
+	if err != nil {
+		// Optimal weights can push aᵀCa negative when C is badly estimated;
+		// retry with uniform weights before giving up.
+		weights = uniformWeights(l)
+		mean = 0
+		for k, tr := range triples {
+			mean += weights[k] * tr.est.Mean
+		}
+		de, err = DeltaMethod(mean, weights, cov)
+		if err != nil {
+			est.Err = err
+			return est
+		}
+	}
+	est.Est = de
+	return est
+}
+
+// lemma4C computes C(i, j, j′) of Lemma 4: the covariance between worker
+// i's agreement rates with j and with j′,
+//
+//	C(i, j, j′) = c_{i,j,j′} · p_i(1−p_i) · (2q_{j,j′}−1) / (c_{i,j}·c_{i,j′})
+//
+// For j = j′ this degenerates to Var(Q_{i,j}) which Lemma 4's diagonal case
+// already covers, but cross-triple sums never hit it since triples are
+// disjoint pairs.
+func lemma4C(cache agreementSource, i, j, jp int, pI float64) float64 {
+	cij := cache.pair(i, j).Common
+	cijp := cache.pair(i, jp).Common
+	if cij == 0 || cijp == 0 {
+		return 0
+	}
+	c3 := cache.common3(i, j, jp)
+	if c3 == 0 {
+		return 0
+	}
+	qjjp := cache.pair(j, jp).Rate()
+	return float64(c3) * pI * (1 - pI) * (2*qjjp - 1) / (float64(cij) * float64(cijp))
+}
+
+// formPairs implements Step 1 of Algorithm A2: split the workers other than
+// i into pairs, each of which will join i to form a triple.
+func formPairs(cache agreementSource, m, i int, strategy PairingStrategy, minCommon int) [][2]int {
+	// Candidates must share at least minCommon tasks with worker i.
+	var cands []int
+	for w := 0; w < m; w++ {
+		if w != i && cache.pair(i, w).Common >= minCommon {
+			cands = append(cands, w)
+		}
+	}
+	if strategy == GreedyPairing {
+		// Descending by common-task count with worker i: the paper pairs the
+		// best-overlapping workers together so some triples are excellent
+		// (the weight optimization then exploits the quality spread).
+		sort.SliceStable(cands, func(a, b int) bool {
+			return cache.pair(i, cands[a]).Common > cache.pair(i, cands[b]).Common
+		})
+	}
+	var pairs [][2]int
+	used := make([]bool, len(cands))
+	for a := 0; a < len(cands); a++ {
+		if used[a] {
+			continue
+		}
+		for b := a + 1; b < len(cands); b++ {
+			if used[b] {
+				continue
+			}
+			// The pair must share tasks with each other too, otherwise the
+			// triple's q_{j1,j2} is undefined.
+			if cache.pair(cands[a], cands[b]).Common >= minCommon {
+				pairs = append(pairs, [2]int{cands[a], cands[b]})
+				used[a], used[b] = true, true
+				break
+			}
+		}
+	}
+	return pairs
+}
+
+func uniformWeights(l int) []float64 {
+	w := make([]float64, l)
+	for i := range w {
+		w[i] = 1 / float64(l)
+	}
+	return w
+}
+
+// optimalWeights implements Lemma 5: with B = C⁻¹𝟙, the variance-minimizing
+// weights summing to 1 are A = B/‖B‖₁. (The paper normalizes by the L1 norm;
+// for a PSD C the entries of B share a sign, so this equals B/Σ B.)
+func optimalWeights(cov *mat.Matrix) ([]float64, error) {
+	l := cov.Rows()
+	ones := make([]float64, l)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b, err := cov.Solve(ones)
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	for _, v := range b {
+		sum += v
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("core: weight normalization is zero: %w", ErrDegenerate)
+	}
+	for i := range b {
+		b[i] /= sum
+	}
+	return b, nil
+}

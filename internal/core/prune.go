@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"crowdassess/internal/crowd"
+)
+
+// DefaultPruneThreshold is the paper's spammer cutoff: workers whose
+// majority-vote disagreement exceeds 0.4 are "almost surely pure spammers"
+// (Section III-E2).
+const DefaultPruneThreshold = 0.4
+
+// PruneSpammers removes workers whose disagreement with the majority vote
+// exceeds threshold, the preprocessing step the paper applies before Fig. 4.
+// It returns the pruned dataset and the original indices of the kept
+// workers. A non-positive threshold selects DefaultPruneThreshold.
+// An error is returned when fewer than three workers survive (the main
+// algorithms need at least a triple).
+func PruneSpammers(ds *crowd.Dataset, threshold float64) (*crowd.Dataset, []int, error) {
+	if threshold <= 0 {
+		threshold = DefaultPruneThreshold
+	}
+	dis := ds.MajorityDisagreement()
+	var keep []int
+	for w, d := range dis {
+		if d <= threshold {
+			keep = append(keep, w)
+		}
+	}
+	if len(keep) < 3 {
+		return nil, nil, fmt.Errorf("core: only %d workers survive pruning at %.2f: %w",
+			len(keep), threshold, ErrInsufficientData)
+	}
+	pruned, err := ds.SelectWorkers(keep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pruned, keep, nil
+}

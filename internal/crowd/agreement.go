@@ -1,0 +1,120 @@
+package crowd
+
+// PairStats holds the agreement statistics for a pair of workers: the number
+// of tasks both attempted (c_{i,j} in the paper) and how many of those they
+// answered identically. The empirical agreement rate q̂_{i,j} follows.
+type PairStats struct {
+	Common int // c_{i,j}: tasks attempted by both workers
+	Agree  int // tasks with identical responses
+}
+
+// Rate returns the empirical agreement rate q̂ = Agree/Common, or 0 when the
+// pair shares no tasks (callers must check Common first).
+func (p PairStats) Rate() float64 {
+	if p.Common == 0 {
+		return 0
+	}
+	return float64(p.Agree) / float64(p.Common)
+}
+
+// Pair returns the agreement statistics for workers i and j.
+func (d *Dataset) Pair(i, j int) PairStats {
+	var st PairStats
+	ri := d.resp[i*d.numTasks : (i+1)*d.numTasks]
+	rj := d.resp[j*d.numTasks : (j+1)*d.numTasks]
+	for t := 0; t < d.numTasks; t++ {
+		if ri[t] == None || rj[t] == None {
+			continue
+		}
+		st.Common++
+		if ri[t] == rj[t] {
+			st.Agree++
+		}
+	}
+	return st
+}
+
+// CommonTriple returns c_{i,j,k}: the number of tasks attempted by all three
+// workers.
+func (d *Dataset) CommonTriple(i, j, k int) int {
+	ri := d.resp[i*d.numTasks : (i+1)*d.numTasks]
+	rj := d.resp[j*d.numTasks : (j+1)*d.numTasks]
+	rk := d.resp[k*d.numTasks : (k+1)*d.numTasks]
+	n := 0
+	for t := 0; t < d.numTasks; t++ {
+		if ri[t] != None && rj[t] != None && rk[t] != None {
+			n++
+		}
+	}
+	return n
+}
+
+// PairMatrix returns the full m×m table of pairwise statistics. Entry (i,j)
+// equals entry (j,i); the diagonal holds each worker's self-agreement (its
+// Common is the worker's response count and Agree equals Common).
+func (d *Dataset) PairMatrix() [][]PairStats {
+	m := d.numWorkers
+	out := make([][]PairStats, m)
+	for i := range out {
+		out[i] = make([]PairStats, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			st := d.Pair(i, j)
+			out[i][j] = st
+			out[j][i] = st
+		}
+	}
+	return out
+}
+
+// MajorityVote returns, for each task, the plurality response among workers
+// (None for tasks nobody attempted). Ties are broken toward the smaller
+// class index, deterministically.
+func (d *Dataset) MajorityVote() []Response {
+	out := make([]Response, d.numTasks)
+	counts := make([]int, d.arity+1)
+	for t := 0; t < d.numTasks; t++ {
+		for c := range counts {
+			counts[c] = 0
+		}
+		for w := 0; w < d.numWorkers; w++ {
+			counts[d.resp[w*d.numTasks+t]]++
+		}
+		best, bestCount := None, 0
+		for c := 1; c <= d.arity; c++ {
+			if counts[c] > bestCount {
+				best, bestCount = Response(c), counts[c]
+			}
+		}
+		out[t] = best
+	}
+	return out
+}
+
+// MajorityDisagreement returns, for each worker, the fraction of the
+// worker's answered tasks on which it disagrees with the majority vote.
+// This is the simple technique the paper uses to pre-screen spammers before
+// running the main algorithms (Section III-E). Workers with no responses
+// get 0.
+func (d *Dataset) MajorityDisagreement() []float64 {
+	maj := d.MajorityVote()
+	out := make([]float64, d.numWorkers)
+	for w := 0; w < d.numWorkers; w++ {
+		attempted, disagree := 0, 0
+		for t := 0; t < d.numTasks; t++ {
+			r := d.resp[w*d.numTasks+t]
+			if r == None || maj[t] == None {
+				continue
+			}
+			attempted++
+			if r != maj[t] {
+				disagree++
+			}
+		}
+		if attempted > 0 {
+			out[w] = float64(disagree) / float64(attempted)
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package crowd
+
+import "math/bits"
+
+// Attendance is a bitset index over which worker attempted which task. The
+// m-worker algorithm (A2) needs pairwise and triple common-task counts for
+// every pair of triples it aggregates; popcounted bitsets make those counts
+// O(tasks/64) instead of O(tasks).
+type Attendance struct {
+	tasks int
+	words int
+	sets  [][]uint64 // per worker
+}
+
+// Attendance builds the bitset index for the dataset's current responses.
+// The index is a snapshot: it does not track later mutations.
+func (d *Dataset) Attendance() *Attendance {
+	words := (d.numTasks + 63) / 64
+	a := &Attendance{tasks: d.numTasks, words: words, sets: make([][]uint64, d.numWorkers)}
+	for w := 0; w < d.numWorkers; w++ {
+		bs := make([]uint64, words)
+		row := d.resp[w*d.numTasks : (w+1)*d.numTasks]
+		for t, r := range row {
+			if r != None {
+				bs[t/64] |= 1 << (uint(t) % 64)
+			}
+		}
+		a.sets[w] = bs
+	}
+	return a
+}
+
+// Count returns the number of tasks worker w attempted.
+func (a *Attendance) Count(w int) int {
+	n := 0
+	for _, word := range a.sets[w] {
+		n += bits.OnesCount64(word)
+	}
+	return n
+}
+
+// Common2 returns c_{i,j}: tasks attempted by both workers.
+func (a *Attendance) Common2(i, j int) int {
+	bi, bj := a.sets[i], a.sets[j]
+	n := 0
+	for w := 0; w < a.words; w++ {
+		n += bits.OnesCount64(bi[w] & bj[w])
+	}
+	return n
+}
+
+// Common3 returns c_{i,j,k}: tasks attempted by all three workers.
+func (a *Attendance) Common3(i, j, k int) int {
+	bi, bj, bk := a.sets[i], a.sets[j], a.sets[k]
+	n := 0
+	for w := 0; w < a.words; w++ {
+		n += bits.OnesCount64(bi[w] & bj[w] & bk[w])
+	}
+	return n
+}

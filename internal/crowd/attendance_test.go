@@ -1,0 +1,54 @@
+package crowd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttendanceCountsMatchNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		d := MustNewDataset(4, 130, 2) // >2 bitset words
+		s := seed
+		next := func() int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int((s >> 33) % 3)
+			if v < 0 {
+				v += 3
+			}
+			return v
+		}
+		for w := 0; w < 4; w++ {
+			for t2 := 0; t2 < 130; t2++ {
+				d.SetResponse(w, t2, Response(next()))
+			}
+		}
+		a := d.Attendance()
+		for i := 0; i < 4; i++ {
+			if a.Count(i) != d.ResponseCount(i) {
+				return false
+			}
+			for j := 0; j < 4; j++ {
+				if a.Common2(i, j) != d.Pair(i, j).Common {
+					return false
+				}
+				for k := 0; k < 4; k++ {
+					if a.Common3(i, j, k) != d.CommonTriple(i, j, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttendanceEmpty(t *testing.T) {
+	d := MustNewDataset(2, 10, 2)
+	a := d.Attendance()
+	if a.Count(0) != 0 || a.Common2(0, 1) != 0 || a.Common3(0, 1, 1) != 0 {
+		t.Error("empty dataset attendance should be zero")
+	}
+}

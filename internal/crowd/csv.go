@@ -1,0 +1,154 @@
+package crowd
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV parses a dataset from the long (tidy) CSV form most labelling
+// platforms export: one response per row as
+//
+//	worker,task,response[,truth]
+//
+// Worker and task are identifiers (arbitrary strings); they are assigned
+// dense indices in first-appearance order, returned in the index maps.
+// Response and the optional truth column are 1-based class integers.
+// A header row is detected (any non-integer in the response column of the
+// first row) and skipped. Arity is the largest class seen, but at least 2.
+func ReadCSV(r io.Reader) (ds *Dataset, workerIDs, taskIDs []string, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // rows may or may not carry a truth column
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("crowd: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, nil, nil, fmt.Errorf("crowd: empty CSV")
+	}
+	// Header detection: the third column of a data row must parse as int.
+	start := 0
+	if len(records[0]) >= 3 {
+		if _, err := strconv.Atoi(records[0][2]); err != nil {
+			start = 1
+		}
+	}
+	type cell struct {
+		w, t  int
+		r     Response
+		truth Response // None when absent
+	}
+	workerIndex := map[string]int{}
+	taskIndex := map[string]int{}
+	var cells []cell
+	arity := 2
+	for line := start; line < len(records); line++ {
+		rec := records[line]
+		if len(rec) < 3 {
+			return nil, nil, nil, fmt.Errorf("crowd: line %d has %d fields, want ≥3", line+1, len(rec))
+		}
+		w, ok := workerIndex[rec[0]]
+		if !ok {
+			w = len(workerIDs)
+			workerIndex[rec[0]] = w
+			workerIDs = append(workerIDs, rec[0])
+		}
+		t, ok := taskIndex[rec[1]]
+		if !ok {
+			t = len(taskIDs)
+			taskIndex[rec[1]] = t
+			taskIDs = append(taskIDs, rec[1])
+		}
+		resp, err := strconv.Atoi(rec[2])
+		if err != nil || resp < 1 {
+			return nil, nil, nil, fmt.Errorf("crowd: line %d: response %q must be a positive class index", line+1, rec[2])
+		}
+		if resp > arity {
+			arity = resp
+		}
+		c := cell{w: w, t: t, r: Response(resp)}
+		if len(rec) >= 4 && rec[3] != "" {
+			truth, err := strconv.Atoi(rec[3])
+			if err != nil || truth < 1 {
+				return nil, nil, nil, fmt.Errorf("crowd: line %d: truth %q must be a positive class index", line+1, rec[3])
+			}
+			if truth > arity {
+				arity = truth
+			}
+			c.truth = Response(truth)
+		}
+		cells = append(cells, c)
+	}
+	if len(cells) == 0 {
+		return nil, nil, nil, fmt.Errorf("crowd: CSV contains no responses")
+	}
+	ds, err = NewDataset(len(workerIDs), len(taskIDs), arity)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, c := range cells {
+		if ds.Attempted(c.w, c.t) {
+			return nil, nil, nil, fmt.Errorf("crowd: duplicate response for worker %q on task %q",
+				workerIDs[c.w], taskIDs[c.t])
+		}
+		if err := ds.SetResponse(c.w, c.t, c.r); err != nil {
+			return nil, nil, nil, err
+		}
+		if c.truth != None {
+			existing := ds.Truth(c.t)
+			if existing != None && existing != c.truth {
+				return nil, nil, nil, fmt.Errorf("crowd: conflicting truths for task %q", taskIDs[c.t])
+			}
+			if err := ds.SetTruth(c.t, c.truth); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+	return ds, workerIDs, taskIDs, nil
+}
+
+// WriteCSV emits the dataset in the long CSV form accepted by ReadCSV,
+// including a header and a truth column when gold answers exist.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	hasTruth := false
+	for t := 0; t < d.numTasks; t++ {
+		if d.truth[t] != None {
+			hasTruth = true
+			break
+		}
+	}
+	header := []string{"worker", "task", "response"}
+	if hasTruth {
+		header = append(header, "truth")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for wk := 0; wk < d.numWorkers; wk++ {
+		for t := 0; t < d.numTasks; t++ {
+			r := d.Response(wk, t)
+			if r == None {
+				continue
+			}
+			rec := []string{
+				"w" + strconv.Itoa(wk),
+				"t" + strconv.Itoa(t),
+				strconv.Itoa(int(r)),
+			}
+			if hasTruth {
+				if g := d.truth[t]; g != None {
+					rec = append(rec, strconv.Itoa(int(g)))
+				} else {
+					rec = append(rec, "")
+				}
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,114 @@
+package crowd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := strings.NewReader(
+		"worker,task,response,truth\n" +
+			"alice,t1,1,1\n" +
+			"bob,t1,2,1\n" +
+			"alice,t2,2,\n" +
+			"carol,t2,2,\n")
+	ds, workers, tasks, err := ReadCSV(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 3 || len(tasks) != 2 {
+		t.Fatalf("%d workers, %d tasks", len(workers), len(tasks))
+	}
+	if workers[0] != "alice" || tasks[0] != "t1" {
+		t.Errorf("id order: %v %v", workers, tasks)
+	}
+	if ds.Arity() != 2 {
+		t.Errorf("arity %d", ds.Arity())
+	}
+	if ds.Response(0, 0) != 1 || ds.Response(1, 0) != 2 || ds.Response(2, 1) != 2 {
+		t.Error("responses misplaced")
+	}
+	if ds.Truth(0) != 1 || ds.Truth(1) != None {
+		t.Error("truth misplaced")
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	in := strings.NewReader("w1,t1,1\nw2,t1,3\n")
+	ds, _, _, err := ReadCSV(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Arity() != 3 {
+		t.Errorf("arity %d, want 3 (largest class)", ds.Arity())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                       // empty
+		"worker,task,response\n", // header only
+		"w1,t1\n",                // too few fields
+		"w1,t1,0\n",              // class < 1
+		"worker,task,response\nw1,t1,notanumber\n", // bad data row after header
+		"w1,t1,1,0\n",            // truth < 1
+		"w1,t1,1\nw1,t1,2\n",     // duplicate response
+		"w1,t1,1,1\nw2,t1,1,2\n", // conflicting truth
+	}
+	for i, c := range cases {
+		if _, _, _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := MustNewDataset(3, 4, 3)
+	_ = d.SetResponse(0, 0, 1)
+	_ = d.SetResponse(0, 2, 3)
+	_ = d.SetResponse(1, 1, 2)
+	_ = d.SetResponse(2, 3, 1)
+	_ = d.SetTruth(0, 1)
+	_ = d.SetTruth(2, 3)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, _, _, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Arity() != 3 {
+		t.Fatalf("arity %d", back.Arity())
+	}
+	// Identifier order is deterministic (worker-major scan), so responses
+	// land on the same dense indices for attempted cells.
+	if back.Workers() != 3 || back.Tasks() != 4 {
+		t.Fatalf("shape %d×%d", back.Workers(), back.Tasks())
+	}
+	type wt struct{ w, t int }
+	want := map[wt]Response{{0, 0}: 1, {0, 1}: 3, {1, 2}: 2, {2, 3}: 1}
+	// Note: unattempted tasks are renumbered by first appearance, so task
+	// indices shift: original tasks (0,2,1,3) → (0,1,2,3).
+	for k, v := range want {
+		if got := back.Response(k.w, k.t); got != v {
+			t.Errorf("response (%d,%d) = %v, want %v", k.w, k.t, got, v)
+		}
+	}
+	if back.Truth(0) != 1 || back.Truth(1) != 3 {
+		t.Error("truth lost in round trip")
+	}
+}
+
+func TestWriteCSVNoTruthColumn(t *testing.T) {
+	d := MustNewDataset(1, 1, 2)
+	_ = d.SetResponse(0, 0, Yes)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "truth") {
+		t.Errorf("truth column emitted for truthless dataset:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,101 @@
+package crowd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// datasetJSON is the wire form of a Dataset. Responses are stored as a
+// worker-major list of (task, response) pairs so sparse data stays compact.
+type datasetJSON struct {
+	Workers   int        `json:"workers"`
+	Tasks     int        `json:"tasks"`
+	Arity     int        `json:"arity"`
+	Responses [][][2]int `json:"responses"` // per worker: [task, response]
+	Truth     []int      `json:"truth,omitempty"`
+}
+
+// MarshalJSON encodes the dataset in a compact sparse form.
+func (d *Dataset) MarshalJSON() ([]byte, error) {
+	out := datasetJSON{Workers: d.numWorkers, Tasks: d.numTasks, Arity: d.arity}
+	out.Responses = make([][][2]int, d.numWorkers)
+	for w := 0; w < d.numWorkers; w++ {
+		for t := 0; t < d.numTasks; t++ {
+			if r := d.Response(w, t); r != None {
+				out.Responses[w] = append(out.Responses[w], [2]int{t, int(r)})
+			}
+		}
+	}
+	hasTruth := false
+	for _, g := range d.truth {
+		if g != None {
+			hasTruth = true
+			break
+		}
+	}
+	if hasTruth {
+		out.Truth = make([]int, d.numTasks)
+		for t, g := range d.truth {
+			out.Truth[t] = int(g)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the compact sparse form produced by MarshalJSON.
+func (d *Dataset) UnmarshalJSON(b []byte) error {
+	var in datasetJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	nd, err := NewDataset(in.Workers, in.Tasks, in.Arity)
+	if err != nil {
+		return err
+	}
+	if len(in.Responses) != in.Workers {
+		return fmt.Errorf("crowd: %d response lists for %d workers", len(in.Responses), in.Workers)
+	}
+	for w, list := range in.Responses {
+		for _, pair := range list {
+			if err := nd.SetResponse(w, pair[0], Response(pair[1])); err != nil {
+				return err
+			}
+		}
+	}
+	if in.Truth != nil {
+		if len(in.Truth) != in.Tasks {
+			return fmt.Errorf("crowd: %d truth entries for %d tasks", len(in.Truth), in.Tasks)
+		}
+		for t, g := range in.Truth {
+			if err := nd.SetTruth(t, Response(g)); err != nil {
+				return err
+			}
+		}
+	}
+	*d = *nd
+	return nil
+}
+
+// WriteTo serializes the dataset as JSON to w.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ReadDataset parses a JSON-encoded dataset from r.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var d Dataset
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

@@ -1,0 +1,238 @@
+package eval
+
+import (
+	"crowdassess/internal/baseline"
+	"crowdassess/internal/core"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+// Fig1 regenerates Figure 1: average interval size vs confidence level for
+// the new technique (Algorithm A2) and the old technique [2], with m ∈
+// {3, 7} workers on n = 100 regular tasks.
+func Fig1(p Params) (*Result, error) {
+	res := &Result{
+		Name:   "fig1",
+		Title:  "Size of interval vs. confidence for old and new techniques",
+		XLabel: "Confidence Level",
+		YLabel: "Size of Interval",
+	}
+	confs := Confidences()
+	const tasks = 100
+	for _, m := range []int{3, 7} {
+		// Per confidence level, collected interval sizes across replicates.
+		newSizes := make([][]float64, len(confs))
+		oldSizes := make([][]float64, len(confs))
+		for r := 0; r < p.replicates(); r++ {
+			src := randx.NewSource(p.Seed + int64(r))
+			ds, _, err := sim.Binary{Tasks: tasks, Workers: m}.Generate(src)
+			if err != nil {
+				return nil, err
+			}
+			deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
+			if err != nil {
+				return nil, err
+			}
+			for ci, c := range confs {
+				for _, d := range deltas {
+					if d.Err != nil {
+						res.Failures++
+						continue
+					}
+					newSizes[ci] = append(newSizes[ci], d.Est.Interval(c).ClampTo(0, 1).Size())
+				}
+			}
+			// Old technique: one full evaluation per confidence level (its
+			// union-bound propagation depends on the level).
+			for ci, c := range confs {
+				ivs, err := baseline.OldTechnique{Confidence: c}.Evaluate(ds)
+				if err != nil {
+					res.Failures++
+					continue
+				}
+				for _, iv := range ivs {
+					oldSizes[ci] = append(oldSizes[ci], iv.Size())
+				}
+			}
+		}
+		newSeries := Series{Label: seriesLabel("new technique", m, tasks)}
+		oldSeries := Series{Label: seriesLabel("old technique", m, tasks)}
+		for ci, c := range confs {
+			newSeries.Points = append(newSeries.Points, Point{X: c, Y: meanOf(newSizes[ci])})
+			oldSeries.Points = append(oldSeries.Points, Point{X: c, Y: meanOf(oldSizes[ci])})
+		}
+		res.Series = append(res.Series, newSeries, oldSeries)
+	}
+	return res, nil
+}
+
+func seriesLabel(tech string, m, n int) string {
+	return tech + ", " + itoa(m) + " workers, " + itoa(n) + " tasks"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Fig2a regenerates Figure 2(a): interval-accuracy vs confidence level for
+// the m-worker binary non-regular method, with (m, n) ∈ {3,7}×{100,300} at
+// density 0.8.
+func Fig2a(p Params) (*Result, error) {
+	res := &Result{
+		Name:   "fig2a",
+		Title:  "Accuracy of m-worker binary non-regular method in estimating confidence",
+		XLabel: "Confidence Level",
+		YLabel: "Accuracy",
+	}
+	confs := Confidences()
+	for _, cfg := range []struct{ m, n int }{{3, 100}, {3, 300}, {7, 100}, {7, 300}} {
+		hits := make([]int, len(confs))
+		totals := make([]int, len(confs))
+		for r := 0; r < p.replicates(); r++ {
+			src := randx.NewSource(p.Seed + int64(r))
+			ds, rates, err := sim.Binary{Tasks: cfg.n, Workers: cfg.m, Density: 0.8}.Generate(src)
+			if err != nil {
+				return nil, err
+			}
+			deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range deltas {
+				if d.Err != nil {
+					res.Failures++
+					continue
+				}
+				for ci, c := range confs {
+					totals[ci]++
+					if d.Est.Interval(c).ClampTo(0, 1).Contains(rates[d.Worker]) {
+						hits[ci]++
+					}
+				}
+			}
+		}
+		s := Series{Label: itoa(cfg.m) + " workers " + itoa(cfg.n) + " tasks"}
+		for ci, c := range confs {
+			y := 0.0
+			if totals[ci] > 0 {
+				y = float64(hits[ci]) / float64(totals[ci])
+			}
+			s.Points = append(s.Points, Point{X: c, Y: y})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig2b regenerates Figure 2(b): average interval size vs data density at
+// c = 0.8 for (n, m) ∈ {(100,7), (300,3), (300,7)}.
+func Fig2b(p Params) (*Result, error) {
+	res := &Result{
+		Name:   "fig2b",
+		Title:  "Size of intervals for varying levels of density",
+		XLabel: "Density",
+		YLabel: "Size of Interval",
+	}
+	const c = 0.8
+	densities := Densities()
+	for _, cfg := range []struct{ m, n int }{{3, 300}, {7, 100}, {7, 300}} {
+		s := Series{Label: itoa(cfg.m) + " workers, " + itoa(cfg.n) + " tasks"}
+		for _, d := range densities {
+			var sizes []float64
+			for r := 0; r < p.replicates(); r++ {
+				src := randx.NewSource(p.Seed + int64(r))
+				ds, _, err := sim.Binary{Tasks: cfg.n, Workers: cfg.m, Density: d}.Generate(src)
+				if err != nil {
+					return nil, err
+				}
+				deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
+				if err != nil {
+					return nil, err
+				}
+				for _, wd := range deltas {
+					if wd.Err != nil {
+						res.Failures++
+						continue
+					}
+					sizes = append(sizes, wd.Est.Interval(c).ClampTo(0, 1).Size())
+				}
+			}
+			s.Points = append(s.Points, Point{X: d, Y: meanOf(sizes)})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig2c regenerates Figure 2(c): average interval size vs confidence with
+// optimal vs uniform triple weights, m = 7 workers, n = 100 tasks and the
+// heterogeneous densities dᵢ = (0.5i + m − i)/m.
+func Fig2c(p Params) (*Result, error) {
+	res := &Result{
+		Name:   "fig2c",
+		Title:  "Size of interval vs. confidence with and without weight optimization",
+		XLabel: "Confidence Level",
+		YLabel: "Size of Interval",
+	}
+	confs := Confidences()
+	const m, n = 7, 100
+	densities := sim.Fig2cDensities(m)
+	optSizes := make([][]float64, len(confs))
+	uniSizes := make([][]float64, len(confs))
+	for r := 0; r < p.replicates(); r++ {
+		src := randx.NewSource(p.Seed + int64(r))
+		ds, _, err := sim.Binary{Tasks: n, Workers: m, Densities: densities}.Generate(src)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{Weights: core.OptimalWeights})
+		if err != nil {
+			return nil, err
+		}
+		uni, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{Weights: core.UniformWeights})
+		if err != nil {
+			return nil, err
+		}
+		for w := range opt {
+			if opt[w].Err != nil || uni[w].Err != nil {
+				res.Failures++
+				continue
+			}
+			for ci, c := range confs {
+				optSizes[ci] = append(optSizes[ci], opt[w].Est.Interval(c).ClampTo(0, 1).Size())
+				uniSizes[ci] = append(uniSizes[ci], uni[w].Est.Interval(c).ClampTo(0, 1).Size())
+			}
+		}
+	}
+	with := Series{Label: "With Optimization"}
+	without := Series{Label: "No Optimization"}
+	for ci, c := range confs {
+		with.Points = append(with.Points, Point{X: c, Y: meanOf(optSizes[ci])})
+		without.Points = append(without.Points, Point{X: c, Y: meanOf(uniSizes[ci])})
+	}
+	res.Series = append(res.Series, without, with)
+	return res, nil
+}
+
+// Fig3 regenerates Figure 3: interval accuracy vs confidence on the three
+// emulated real datasets (IC, RTE, TEM), m-worker binary non-regular method,
+// no preprocessing.
+func Fig3(p Params) (*Result, error) {
+	return realBinaryAccuracy(p, "fig3", "Accuracy of interval vs confidence", false)
+}
+
+// Fig4 regenerates Figure 4: the same protocol after pruning workers whose
+// majority-vote disagreement exceeds 0.4 (the paper's spammer screen).
+func Fig4(p Params) (*Result, error) {
+	return realBinaryAccuracy(p, "fig4", "Accuracy of improved interval vs confidence", true)
+}

@@ -1,0 +1,107 @@
+package mat
+
+import "math"
+
+// ErrNotPSD is returned when a Cholesky factorization meets a non-positive
+// pivot: the matrix is not positive definite to working precision.
+var ErrNotPSD = &notPSDError{}
+
+type notPSDError struct{}
+
+func (*notPSDError) Error() string { return "mat: matrix is not positive definite" }
+
+// Cholesky returns the lower-triangular L with m = L·Lᵀ. It requires a
+// symmetric positive-definite input (only the lower triangle is read).
+// Algorithm A2's covariance matrices are PSD in expectation; callers use
+// Cholesky both to validate estimated covariances and to solve the
+// weight system without forming an inverse.
+func (m *Matrix) Cholesky() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, ErrShape
+	}
+	n := m.rows
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPSD
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves m·x = b for symmetric positive-definite m via its
+// Cholesky factorization — twice as fast and more stable than LU for PSD
+// systems such as Lemma 5's weight equations.
+func (m *Matrix) SolveCholesky(b []float64) ([]float64, error) {
+	if len(b) != m.rows {
+		return nil, ErrShape
+	}
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	n := m.rows
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[i]
+		for j := 0; j < i; j++ {
+			y[i] -= l.At(i, j) * y[j]
+		}
+		y[i] /= l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		x[i] = y[i]
+		for j := i + 1; j < n; j++ {
+			x[i] -= l.At(j, i) * x[j]
+		}
+		x[i] /= l.At(i, i)
+	}
+	return x, nil
+}
+
+// IsPSD reports whether m is symmetric positive definite to working
+// precision (via an attempted Cholesky factorization of its symmetrized
+// form).
+func (m *Matrix) IsPSD() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	_, err := m.Symmetrize().Cholesky()
+	return err == nil
+}
+
+// ConditionEstimate returns the 2-norm condition number estimate
+// λmax/λmin from the symmetric eigendecomposition of mᵀm's square root —
+// exact for symmetric m, an estimate otherwise. It returns +Inf for
+// singular matrices.
+func (m *Matrix) ConditionEstimate() float64 {
+	if m.rows != m.cols {
+		return math.Inf(1)
+	}
+	// Singular values of m are the square roots of eigenvalues of mᵀm,
+	// which is symmetric PSD: the Jacobi path is exact.
+	e, err := m.T().Mul(m).EigenSym()
+	if err != nil {
+		return math.Inf(1)
+	}
+	max := e.Values[0]
+	min := e.Values[len(e.Values)-1]
+	if min <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(max / min)
+}

@@ -1,0 +1,122 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// Classic example: [[4,12,-16],[12,37,-43],[-16,-43,98]] = LLᵀ with
+	// L = [[2,0,0],[6,1,0],[-8,5,3]].
+	a := FromRows([][]float64{{4, 12, -16}, {12, 37, -43}, {-16, -43, 98}})
+	l, err := a.Cholesky()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}})
+	if !l.EqualApprox(want, 1e-10) {
+		t.Errorf("L =\n%v\nwant\n%v", l, want)
+	}
+}
+
+func TestCholeskyRejectsNonPSD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := a.Cholesky(); !errors.Is(err, ErrNotPSD) {
+		t.Errorf("err = %v, want ErrNotPSD", err)
+	}
+	if _, err := New(2, 3).Cholesky(); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square err = %v", err)
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(6)
+		g := randomMatrix(rng, n)
+		a := g.Mul(g.T())
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 0.5)
+		}
+		l, err := a.Cholesky()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !l.Mul(l.T()).EqualApprox(a, 1e-9) {
+			t.Errorf("trial %d: LLᵀ ≠ A", trial)
+		}
+		// Strictly lower triangular above the diagonal.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Errorf("trial %d: L(%d,%d) = %v", trial, i, j, l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSolveCholeskyMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		g := randomMatrix(rng, n)
+		a := g.Mul(g.T())
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xc, err := a.SolveCholesky(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		xl, err := a.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xc {
+			if math.Abs(xc[i]-xl[i]) > 1e-8 {
+				t.Errorf("trial %d: Cholesky %v vs LU %v at %d", trial, xc[i], xl[i], i)
+			}
+		}
+	}
+}
+
+func TestSolveCholeskyShape(t *testing.T) {
+	a := Identity(3)
+	if _, err := a.SolveCholesky([]float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestIsPSD(t *testing.T) {
+	if !Identity(3).IsPSD() {
+		t.Error("identity not PSD")
+	}
+	if FromRows([][]float64{{1, 2}, {2, 1}}).IsPSD() {
+		t.Error("indefinite matrix reported PSD")
+	}
+	if New(2, 3).IsPSD() {
+		t.Error("non-square reported PSD")
+	}
+}
+
+func TestConditionEstimate(t *testing.T) {
+	// Diagonal matrix: condition = max/min.
+	d := Diagonal([]float64{10, 1})
+	if got := d.ConditionEstimate(); math.Abs(got-10) > 1e-8 {
+		t.Errorf("condition = %v, want 10", got)
+	}
+	if got := Identity(4).ConditionEstimate(); math.Abs(got-1) > 1e-10 {
+		t.Errorf("identity condition = %v", got)
+	}
+	sing := FromRows([][]float64{{1, 1}, {1, 1}})
+	if !math.IsInf(sing.ConditionEstimate(), 1) {
+		t.Error("singular matrix condition not Inf")
+	}
+}

@@ -1,0 +1,144 @@
+package mat
+
+import "math"
+
+// Inverse returns m⁻¹ computed by Gauss–Jordan elimination with partial
+// pivoting. It returns ErrSingular when a pivot falls below tolerance.
+// (The paper's complexity remark mentions Williams' algorithm as an
+// asymptotic alternative; at crowd scale Gauss–Jordan is the right tool —
+// see DESIGN.md, substitution 3.)
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, ErrShape
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: the largest |value| in this column at/below the
+		// diagonal keeps the elimination numerically stable.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-13 {
+			return nil, ErrSingular
+		}
+		a.SwapRows(col, pivot)
+		inv.SwapRows(col, pivot)
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Add(r, j, -f*a.At(col, j))
+				inv.Add(r, j, -f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Solve returns x such that m·x = b, using LU factorization with partial
+// pivoting. It returns ErrSingular for rank-deficient m.
+func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	if m.rows != m.cols {
+		return nil, ErrShape
+	}
+	if len(b) != m.rows {
+		return nil, ErrShape
+	}
+	n := m.rows
+	lu := m.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-13 {
+			return nil, ErrSingular
+		}
+		lu.SwapRows(col, pivot)
+		perm[col], perm[pivot] = perm[pivot], perm[col]
+		p := lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / p
+			lu.Set(r, col, f)
+			for j := col + 1; j < n; j++ {
+				lu.Add(r, j, -f*lu.At(col, j))
+			}
+		}
+	}
+	// Forward substitution on the permuted right-hand side.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[perm[i]]
+		for j := 0; j < i; j++ {
+			y[i] -= lu.At(i, j) * y[j]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		x[i] = y[i]
+		for j := i + 1; j < n; j++ {
+			x[i] -= lu.At(i, j) * x[j]
+		}
+		x[i] /= lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Det returns the determinant of m via LU factorization.
+func (m *Matrix) Det() (float64, error) {
+	if m.rows != m.cols {
+		return 0, ErrShape
+	}
+	n := m.rows
+	lu := m.Clone()
+	det := 1.0
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return 0, nil
+		}
+		if pivot != col {
+			lu.SwapRows(col, pivot)
+			det = -det
+		}
+		p := lu.At(col, col)
+		det *= p
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / p
+			for j := col + 1; j < n; j++ {
+				lu.Add(r, j, -f*lu.At(col, j))
+			}
+		}
+	}
+	return det, nil
+}

@@ -1,0 +1,475 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrComplexEigen is returned when a real eigendecomposition is requested
+// but the matrix has a complex-conjugate eigenvalue pair. Algorithm A3's
+// second-moment matrices are similar to diagonal matrices with real spectra
+// in exact arithmetic; sampling noise can occasionally push a pair complex,
+// and callers treat that as a degenerate sample.
+var ErrComplexEigen = errors.New("mat: matrix has complex eigenvalues")
+
+// ErrNoConverge is returned when an iterative eigenvalue method exceeds its
+// iteration budget.
+var ErrNoConverge = errors.New("mat: eigenvalue iteration did not converge")
+
+// Eigen holds a real eigendecomposition A = V · diag(Values) · V⁻¹.
+// Column j of Vectors is the (unit-norm) eigenvector for Values[j].
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// QR returns the Householder QR factorization m = Q·R with Q orthogonal and
+// R upper triangular. It panics unless m is square (the only case needed
+// here).
+func (m *Matrix) QR() (q, r *Matrix) {
+	if m.rows != m.cols {
+		panic(ErrShape)
+	}
+	n := m.rows
+	r = m.Clone()
+	q = Identity(n)
+	for col := 0; col < n-1; col++ {
+		// Householder vector for column col below the diagonal.
+		var norm float64
+		for i := col; i < n; i++ {
+			norm += r.At(i, col) * r.At(i, col)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if r.At(col, col) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, n)
+		v[col] = r.At(col, col) - alpha
+		for i := col + 1; i < n; i++ {
+			v[i] = r.At(i, col)
+		}
+		var vv float64
+		for _, x := range v {
+			vv += x * x
+		}
+		if vv == 0 {
+			continue
+		}
+		// Apply H = I − 2vvᵀ/(vᵀv) on the left of R and the right of Q.
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := col; i < n; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vv
+			for i := col; i < n; i++ {
+				r.Add(i, j, -f*v[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := col; j < n; j++ {
+				dot += q.At(i, j) * v[j]
+			}
+			f := 2 * dot / vv
+			for j := col; j < n; j++ {
+				q.Add(i, j, -f*v[j])
+			}
+		}
+	}
+	return q, r
+}
+
+// Hessenberg reduces m to upper Hessenberg form H = Qᵀ·m·Q via Householder
+// similarity transforms, returning H. The orthogonal factor is not needed by
+// callers here so it is not accumulated.
+func (m *Matrix) Hessenberg() *Matrix {
+	if m.rows != m.cols {
+		panic(ErrShape)
+	}
+	n := m.rows
+	h := m.Clone()
+	for col := 0; col < n-2; col++ {
+		var norm float64
+		for i := col + 1; i < n; i++ {
+			norm += h.At(i, col) * h.At(i, col)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if h.At(col+1, col) < 0 {
+			alpha = norm
+		}
+		v := make([]float64, n)
+		v[col+1] = h.At(col+1, col) - alpha
+		for i := col + 2; i < n; i++ {
+			v[i] = h.At(i, col)
+		}
+		var vv float64
+		for _, x := range v {
+			vv += x * x
+		}
+		if vv == 0 {
+			continue
+		}
+		// H ← P·H·P with P = I − 2vvᵀ/(vᵀv): left then right application.
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := col + 1; i < n; i++ {
+				dot += v[i] * h.At(i, j)
+			}
+			f := 2 * dot / vv
+			for i := col + 1; i < n; i++ {
+				h.Add(i, j, -f*v[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := col + 1; j < n; j++ {
+				dot += h.At(i, j) * v[j]
+			}
+			f := 2 * dot / vv
+			for j := col + 1; j < n; j++ {
+				h.Add(i, j, -f*v[j])
+			}
+		}
+	}
+	return h
+}
+
+// Eigenvalues returns the eigenvalues of m, which must all be real, computed
+// by the shifted QR algorithm on the Hessenberg form with deflation.
+// It returns ErrComplexEigen when a 2×2 deflated block has a complex pair
+// and ErrNoConverge when the iteration budget is exhausted.
+func (m *Matrix) Eigenvalues() ([]float64, error) {
+	if m.rows != m.cols {
+		return nil, ErrShape
+	}
+	n := m.rows
+	if n == 1 {
+		return []float64{m.At(0, 0)}, nil
+	}
+	h := m.Hessenberg()
+	evs := make([]float64, 0, n)
+	hi := n - 1
+	const maxIter = 500
+	iter := 0
+	for hi >= 0 {
+		if hi == 0 {
+			evs = append(evs, h.At(0, 0))
+			break
+		}
+		// Locate the start of the active unreduced block.
+		lo := hi
+		for lo > 0 && !negligible(h, lo) {
+			lo--
+		}
+		if lo == hi {
+			// 1×1 block deflated.
+			evs = append(evs, h.At(hi, hi))
+			hi--
+			iter = 0
+			continue
+		}
+		if lo == hi-1 {
+			// 2×2 block: solve its characteristic polynomial directly.
+			l1, l2, realPair := eig2x2(h.At(lo, lo), h.At(lo, hi), h.At(hi, lo), h.At(hi, hi))
+			if !realPair {
+				return nil, ErrComplexEigen
+			}
+			evs = append(evs, l1, l2)
+			hi -= 2
+			iter = 0
+			continue
+		}
+		if iter++; iter > maxIter {
+			return nil, ErrNoConverge
+		}
+		// Shifted QR step on the active block [lo..hi].
+		sigma := wilkinsonShift(h, hi)
+		if iter%20 == 0 {
+			// Exceptional shift to escape rare symmetric-cycling stalls.
+			sigma = h.At(hi, hi) + math.Abs(h.At(hi, hi-1))
+		}
+		qrShiftStep(h, lo, hi, sigma)
+	}
+	sort.Float64s(evs)
+	return evs, nil
+}
+
+// negligible reports whether the subdiagonal entry h[i][i-1] is small enough
+// to deflate, using the standard relative criterion.
+func negligible(h *Matrix, i int) bool {
+	s := math.Abs(h.At(i-1, i-1)) + math.Abs(h.At(i, i))
+	if s == 0 {
+		s = 1
+	}
+	return math.Abs(h.At(i, i-1)) <= 1e-14*s
+}
+
+// eig2x2 returns the eigenvalues of [[a b],[c d]] and whether they are real.
+func eig2x2(a, b, c, d float64) (l1, l2 float64, realPair bool) {
+	tr := a + d
+	det := a*d - b*c
+	disc := tr*tr/4 - det
+	if disc < 0 {
+		// Tolerate a whisker of negativity from roundoff.
+		if disc > -1e-12*(1+tr*tr) {
+			disc = 0
+		} else {
+			return 0, 0, false
+		}
+	}
+	s := math.Sqrt(disc)
+	return tr/2 + s, tr/2 - s, true
+}
+
+// wilkinsonShift picks the eigenvalue of the trailing 2×2 block closest to
+// the last diagonal entry — the standard shift for rapid QR convergence.
+func wilkinsonShift(h *Matrix, hi int) float64 {
+	a, b := h.At(hi-1, hi-1), h.At(hi-1, hi)
+	c, d := h.At(hi, hi-1), h.At(hi, hi)
+	l1, l2, realPair := eig2x2(a, b, c, d)
+	if !realPair {
+		return d
+	}
+	if math.Abs(l1-d) < math.Abs(l2-d) {
+		return l1
+	}
+	return l2
+}
+
+// qrShiftStep performs one explicit shifted QR step, h ← RQ + σI, restricted
+// to the active block [lo..hi], using Givens rotations that exploit the
+// Hessenberg structure.
+func qrShiftStep(h *Matrix, lo, hi int, sigma float64) {
+	n := hi - lo + 1
+	// Copy active block and subtract shift.
+	blk := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			blk.Set(i, j, h.At(lo+i, lo+j))
+		}
+		blk.Add(i, i, -sigma)
+	}
+	// Givens QR of a Hessenberg block: zero the single subdiagonal entry of
+	// each column, recording rotations.
+	type givens struct {
+		c, s float64
+	}
+	rots := make([]givens, n-1)
+	for k := 0; k < n-1; k++ {
+		a, b := blk.At(k, k), blk.At(k+1, k)
+		r := math.Hypot(a, b)
+		if r == 0 {
+			rots[k] = givens{1, 0}
+			continue
+		}
+		c, s := a/r, b/r
+		rots[k] = givens{c, s}
+		for j := k; j < n; j++ {
+			x, y := blk.At(k, j), blk.At(k+1, j)
+			blk.Set(k, j, c*x+s*y)
+			blk.Set(k+1, j, -s*x+c*y)
+		}
+	}
+	// blk is now R; form RQ by applying the rotations on the right.
+	for k := 0; k < n-1; k++ {
+		c, s := rots[k].c, rots[k].s
+		for i := 0; i <= min(k+1, n-1); i++ {
+			x, y := blk.At(i, k), blk.At(i, k+1)
+			blk.Set(i, k, c*x+s*y)
+			blk.Set(i, k+1, -s*x+c*y)
+		}
+	}
+	// Write back with the shift restored.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := blk.At(i, j)
+			if i == j {
+				v += sigma
+			}
+			h.Set(lo+i, lo+j, v)
+		}
+	}
+}
+
+// EigenDecompose returns the full real eigendecomposition of m. Eigenvalues
+// are computed by the shifted QR algorithm; each eigenvector is recovered by
+// inverse iteration around a slightly perturbed eigenvalue. Eigenvalues are
+// returned in descending order. It fails with ErrComplexEigen /
+// ErrNoConverge / ErrSingular on degenerate inputs.
+func (m *Matrix) EigenDecompose() (*Eigen, error) {
+	vals, err := m.Eigenvalues()
+	if err != nil {
+		return nil, err
+	}
+	// Descending order: Algorithm A3 aligns factors by dominant eigenvalue.
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	n := m.rows
+	vecs := New(n, n)
+	scale := m.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	for j, lambda := range vals {
+		v, err := inverseIteration(m, lambda, scale)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, v[i])
+		}
+	}
+	return &Eigen{Values: vals, Vectors: vecs}, nil
+}
+
+// inverseIteration finds a unit eigenvector for the eigenvalue lambda of m by
+// repeatedly solving (m − (λ+ε)I)x = b. The perturbation ε keeps the system
+// nonsingular; a handful of iterations suffices for well-separated spectra.
+func inverseIteration(m *Matrix, lambda, scale float64) ([]float64, error) {
+	n := m.rows
+	eps := 1e-9 * scale
+	shifted := m.Clone()
+	for i := 0; i < n; i++ {
+		shifted.Add(i, i, -(lambda + eps))
+	}
+	// Deterministic start vector with all components populated.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n)) * (1 + 0.01*float64(i))
+	}
+	normalize(x)
+	var lastErr error
+	for iter := 0; iter < 50; iter++ {
+		y, err := shifted.Solve(x)
+		if err != nil {
+			// Exactly singular: nudge the perturbation and retry.
+			eps *= 10
+			shifted = m.Clone()
+			for i := 0; i < n; i++ {
+				shifted.Add(i, i, -(lambda + eps))
+			}
+			lastErr = err
+			continue
+		}
+		normalize(y)
+		// Converged when the direction stabilizes (up to sign).
+		var dot float64
+		for i := range y {
+			dot += y[i] * x[i]
+		}
+		x = y
+		if math.Abs(math.Abs(dot)-1) < 1e-12 {
+			return x, nil
+		}
+		lastErr = nil
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return x, nil
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	s = math.Sqrt(s)
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// EigenSym returns the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method: numerically robust and exactly orthogonal
+// eigenvectors, which the A3 spectral step relies on after symmetrizing its
+// second-moment matrix. Eigenvalues are returned in descending order.
+// m is not checked for symmetry; only its lower triangle is trusted after
+// internal symmetrization.
+func (m *Matrix) EigenSym() (*Eigen, error) {
+	if m.rows != m.cols {
+		return nil, ErrShape
+	}
+	n := m.rows
+	a := m.Symmetrize()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := a.OffDiagNorm()
+		if off < 1e-13*(1+a.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation to rows/columns p and q of A.
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = a.At(i, i)
+	}
+	// Sort descending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newCol, v.At(i, oldCol))
+		}
+	}
+	return &Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

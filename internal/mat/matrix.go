@@ -1,0 +1,312 @@
+// Package mat implements the dense linear-algebra substrate used by the
+// crowd-assessment algorithms: basic matrix arithmetic, Gauss–Jordan
+// inversion, LU solves, and real eigendecompositions (symmetric Jacobi and
+// shifted-QR for the mildly non-symmetric matrices produced by Algorithm A3's
+// spectral step).
+//
+// The package is self-contained (stdlib only) because the reproduction runs
+// offline. Matrices are small in this domain (k ≤ 8 response classes, l ≤ a
+// few hundred triples), so the implementations favour robustness and clarity
+// over blocking or vectorization.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: incompatible matrix shapes")
+
+// ErrSingular is returned when a matrix is singular to working precision.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// New returns a zero-initialized rows×cols matrix.
+// It panics if either dimension is not positive.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+// It panics on ragged or empty input.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows requires non-empty input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("mat: FromRows requires equal-length rows")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Diagonal returns a square matrix with d on the diagonal.
+func Diagonal(d []float64) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.Set(i, i, v)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add increments the element at row i, column j by v.
+func (m *Matrix) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %d×%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SwapRows exchanges rows i and j in place.
+func (m *Matrix) SwapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Scale multiplies every element by s and returns a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	c := m.Clone()
+	for i := range c.data {
+		c.data[i] *= s
+	}
+	return c
+}
+
+// Plus returns m + o.
+func (m *Matrix) Plus(o *Matrix) *Matrix {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(ErrShape)
+	}
+	c := m.Clone()
+	for i := range c.data {
+		c.data[i] += o.data[i]
+	}
+	return c
+}
+
+// Minus returns m − o.
+func (m *Matrix) Minus(o *Matrix) *Matrix {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(ErrShape)
+	}
+	c := m.Clone()
+	for i := range c.data {
+		c.data[i] -= o.data[i]
+	}
+	return c
+}
+
+// Mul returns the matrix product m·o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(ErrShape)
+	}
+	out := New(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			ok := o.data[k*o.cols : (k+1)*o.cols]
+			for j, okj := range ok {
+				oi[j] += mik * okj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.cols != len(v) {
+		panic(ErrShape)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, r := range row {
+			s += r * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// T returns the transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// Symmetrize returns (m + mᵀ)/2. It panics unless m is square.
+func (m *Matrix) Symmetrize() *Matrix {
+	if m.rows != m.cols {
+		panic(ErrShape)
+	}
+	s := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			s.data[i*s.cols+j] = 0.5 * (m.data[i*m.cols+j] + m.data[j*m.cols+i])
+		}
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// OffDiagNorm returns the Frobenius norm of the off-diagonal part.
+// It panics unless m is square.
+func (m *Matrix) OffDiagNorm() float64 {
+	if m.rows != m.cols {
+		panic(ErrShape)
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if i != j {
+				v := m.data[i*m.cols+j]
+				s += v * v
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// IsFinite reports whether every element is finite (no NaN or Inf).
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether m and o agree element-wise within tol.
+func (m *Matrix) EqualApprox(o *Matrix, tol float64) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix with aligned columns, for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%10.6f", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,575 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %d×%d, want 3×4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape %d×%d, want 3×2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityAndDiagonal(t *testing.T) {
+	id := Identity(3)
+	d := Diagonal([]float64{1, 1, 1})
+	if !id.EqualApprox(d, 0) {
+		t.Error("Identity(3) != Diagonal([1,1,1])")
+	}
+}
+
+func TestSetAddAt(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Errorf("got %v, want 7.5", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Error("Row returned a view, want copy")
+	}
+	c := m.Col(0)
+	if c[0] != 1 || c[1] != 3 {
+		t.Errorf("Col(0) = %v, want [1 3]", c)
+	}
+}
+
+func TestSwapRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.SwapRows(0, 1)
+	if m.At(0, 0) != 3 || m.At(1, 1) != 2 {
+		t.Errorf("after swap: %v", m)
+	}
+	m.SwapRows(1, 1) // no-op must not corrupt
+	if m.At(1, 0) != 1 {
+		t.Error("self-swap corrupted matrix")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	sum := a.Plus(b)
+	if sum.At(1, 1) != 12 {
+		t.Errorf("Plus: got %v", sum.At(1, 1))
+	}
+	diff := b.Minus(a)
+	if diff.At(0, 0) != 4 {
+		t.Errorf("Minus: got %v", diff.At(0, 0))
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Errorf("Scale: got %v", sc.At(1, 0))
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	p := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !p.EqualApprox(want, 1e-12) {
+		t.Errorf("Mul:\n%v\nwant:\n%v", p, want)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("T shape %d×%d", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 {
+		t.Errorf("T(2,1) = %v, want 6", at.At(2, 1))
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a := FromRows([][]float64{{1, 4}, {2, 3}})
+	s := a.Symmetrize()
+	if s.At(0, 1) != 3 || s.At(1, 0) != 3 {
+		t.Errorf("Symmetrize off-diagonal = %v, %v, want 3, 3", s.At(0, 1), s.At(1, 0))
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, -4}})
+	if got := a.FrobeniusNorm(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+	if got := a.OffDiagNorm(); got != 0 {
+		t.Errorf("OffDiagNorm = %v, want 0", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	a := New(1, 2)
+	if !a.IsFinite() {
+		t.Error("zero matrix should be finite")
+	}
+	a.Set(0, 1, math.NaN())
+	if a.IsFinite() {
+		t.Error("NaN matrix reported finite")
+	}
+	a.Set(0, 1, math.Inf(1))
+	if a.IsFinite() {
+		t.Error("Inf matrix reported finite")
+	}
+}
+
+func TestInverse2x2(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if !inv.EqualApprox(want, 1e-12) {
+		t.Errorf("Inverse:\n%v\nwant:\n%v", inv, want)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverseNonSquare(t *testing.T) {
+	a := New(2, 3)
+	if _, err := a.Inverse(); err != ErrShape {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+// Property: A·A⁻¹ = I for random well-conditioned matrices.
+func TestInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n)
+		// Diagonal dominance guarantees invertibility.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !a.Mul(inv).EqualApprox(Identity(n), 1e-9) {
+			t.Errorf("trial %d: A·A⁻¹ ≠ I", trial)
+		}
+		if !inv.Mul(a).EqualApprox(Identity(n), 1e-9) {
+			t.Errorf("trial %d: A⁻¹·A ≠ I", trial)
+		}
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ, checked with testing/quick over 3×3 inputs.
+func TestTransposeProductProperty(t *testing.T) {
+	f := func(a0, a1, a2, b0, b1, b2 [3]float64) bool {
+		a := FromRows([][]float64{a0[:], a1[:], a2[:]})
+		b := FromRows([][]float64{b0[:], b1[:], b2[:]})
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		left := a.Mul(b).T()
+		right := b.T().Mul(a.T())
+		tol := 1e-9 * (1 + left.MaxAbs())
+		return left.EqualApprox(right, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	x, err := a.Solve([]float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := a.Solve([]float64{1, 2}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveBadShapes(t *testing.T) {
+	if _, err := New(2, 3).Solve([]float64{1, 2}); err != ErrShape {
+		t.Errorf("non-square: err = %v, want ErrShape", err)
+	}
+	if _, err := New(2, 2).Solve([]float64{1}); err != ErrShape {
+		t.Errorf("bad rhs: err = %v, want ErrShape", err)
+	}
+}
+
+// Property: Solve(A, b) satisfies A·x ≈ b.
+func TestSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := a.Solve(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ax := a.MulVec(x)
+		for i := range b {
+			if !almostEqual(ax[i], b[i], 1e-9) {
+				t.Errorf("trial %d: residual %v at %d", trial, ax[i]-b[i], i)
+			}
+		}
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	d, err := a.Det()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 10, 1e-12) {
+		t.Errorf("Det = %v, want 10", d)
+	}
+	sing := FromRows([][]float64{{1, 2}, {2, 4}})
+	d, err = sing.Det()
+	if err != nil || !almostEqual(d, 0, 1e-12) {
+		t.Errorf("singular Det = %v, %v, want 0, nil", d, err)
+	}
+}
+
+func TestQRReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		a := randomMatrix(rng, n)
+		q, r := a.QR()
+		// Q orthogonal.
+		if !q.T().Mul(q).EqualApprox(Identity(n), 1e-10) {
+			t.Errorf("trial %d: QᵀQ ≠ I", trial)
+		}
+		// R upper triangular.
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(r.At(i, j)) > 1e-10 {
+					t.Errorf("trial %d: R(%d,%d) = %v not zero", trial, i, j, r.At(i, j))
+				}
+			}
+		}
+		if !q.Mul(r).EqualApprox(a, 1e-10) {
+			t.Errorf("trial %d: QR ≠ A", trial)
+		}
+	}
+}
+
+func TestHessenbergStructureAndSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomMatrix(rng, 5)
+	h := a.Hessenberg()
+	for i := 2; i < 5; i++ {
+		for j := 0; j < i-1; j++ {
+			if math.Abs(h.At(i, j)) > 1e-10 {
+				t.Errorf("H(%d,%d) = %v, want 0", i, j, h.At(i, j))
+			}
+		}
+	}
+	// Similarity transform preserves the trace.
+	var trA, trH float64
+	for i := 0; i < 5; i++ {
+		trA += a.At(i, i)
+		trH += h.At(i, i)
+	}
+	if !almostEqual(trA, trH, 1e-9) {
+		t.Errorf("trace changed: %v vs %v", trA, trH)
+	}
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	a := Diagonal([]float64{3, 1, 2})
+	vals, err := a.Eigenvalues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if !almostEqual(vals[i], want[i], 1e-10) {
+			t.Errorf("vals = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestEigenvaluesKnown(t *testing.T) {
+	// [[2 1],[1 2]] has eigenvalues 1 and 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, err := a.Eigenvalues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(vals[0], 1, 1e-10) || !almostEqual(vals[1], 3, 1e-10) {
+		t.Errorf("vals = %v, want [1 3]", vals)
+	}
+}
+
+func TestEigenvaluesComplexPairRejected(t *testing.T) {
+	// Rotation matrix: eigenvalues e^{±iθ}, strictly complex.
+	a := FromRows([][]float64{{0, -1}, {1, 0}})
+	if _, err := a.Eigenvalues(); err != ErrComplexEigen {
+		t.Errorf("err = %v, want ErrComplexEigen", err)
+	}
+}
+
+// Property: eigenvalues of M·D·M⁻¹ equal the diagonal of D.
+func TestEigenvaluesSimilarityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = float64(i+1) + rng.Float64()*0.5 // distinct, well separated
+		}
+		m := randomMatrix(rng, n)
+		for i := 0; i < n; i++ {
+			m.Add(i, i, float64(n)+2)
+		}
+		minv, err := m.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := m.Mul(Diagonal(d)).Mul(minv)
+		vals, err := a.Eigenvalues()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range d {
+			if !almostEqual(vals[i], d[i], 1e-6) {
+				t.Errorf("trial %d: vals = %v, want %v", trial, vals, d)
+				break
+			}
+		}
+	}
+}
+
+func TestEigenDecomposeRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4)
+		a := randomMatrix(rng, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(2*n)) // dominance keeps spectrum real & separated
+		}
+		// Force real spectrum by symmetrizing half of the trials; the other
+		// half exercises the general path with diagonalizable matrices.
+		if trial%2 == 0 {
+			a = a.Symmetrize()
+		} else {
+			d := make([]float64, n)
+			for i := range d {
+				d[i] = float64(i + 1)
+			}
+			m := randomMatrix(rng, n)
+			for i := 0; i < n; i++ {
+				m.Add(i, i, float64(n)+2)
+			}
+			minv, _ := m.Inverse()
+			a = m.Mul(Diagonal(d)).Mul(minv)
+		}
+		e, err := a.EigenDecompose()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Verify A·v = λ·v for every pair.
+		for j := 0; j < n; j++ {
+			v := e.Vectors.Col(j)
+			av := a.MulVec(v)
+			for i := range v {
+				if !almostEqual(av[i], e.Values[j]*v[i], 1e-6*(1+a.MaxAbs())) {
+					t.Errorf("trial %d: column %d not an eigenvector (res %v)", trial, j, av[i]-e.Values[j]*v[i])
+					break
+				}
+			}
+		}
+		// Descending order.
+		for j := 1; j < n; j++ {
+			if e.Values[j] > e.Values[j-1]+1e-9 {
+				t.Errorf("trial %d: eigenvalues not descending: %v", trial, e.Values)
+			}
+		}
+	}
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := a.EigenSym()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-10) || !almostEqual(e.Values[1], 1, 1e-10) {
+		t.Errorf("values = %v, want [3 1]", e.Values)
+	}
+	// Eigenvector for λ=3 is (1,1)/√2 up to sign.
+	v := e.Vectors.Col(0)
+	if !almostEqual(math.Abs(v[0]), 1/math.Sqrt2, 1e-10) || !almostEqual(v[0], v[1], 1e-10) {
+		t.Errorf("leading eigenvector = %v", v)
+	}
+}
+
+// Property: EigenSym returns an orthogonal V with A = V·Λ·Vᵀ.
+func TestEigenSymProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(5)
+		a := randomMatrix(rng, n).Symmetrize()
+		e, err := a.EigenSym()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		v := e.Vectors
+		if !v.T().Mul(v).EqualApprox(Identity(n), 1e-9) {
+			t.Errorf("trial %d: VᵀV ≠ I", trial)
+		}
+		rec := v.Mul(Diagonal(e.Values)).Mul(v.T())
+		if !rec.EqualApprox(a, 1e-8) {
+			t.Errorf("trial %d: VΛVᵀ ≠ A", trial)
+		}
+	}
+}
+
+func TestEigenSymTraceProperty(t *testing.T) {
+	f := func(a0, a1, a2 [3]float64) bool {
+		a := FromRows([][]float64{a0[:], a1[:], a2[:]}).Symmetrize()
+		if !a.IsFinite() || a.MaxAbs() > 1e100 {
+			return true
+		}
+		e, err := a.EigenSym()
+		if err != nil {
+			return false
+		}
+		var tr, sum float64
+		for i := 0; i < 3; i++ {
+			tr += a.At(i, i)
+			sum += e.Values[i]
+		}
+		return almostEqual(tr, sum, 1e-8*(1+math.Abs(tr)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Error("String returned empty")
+	}
+}

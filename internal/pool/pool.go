@@ -1,0 +1,269 @@
+// Package pool manages a crowd-worker pool through its hiring lifecycle
+// using confidence intervals — the application the paper's introduction
+// motivates: "if we're going to fire a worker for having a high estimated
+// error rate, then it is important to be sufficiently confident that the
+// worker has low ability."
+//
+// Workers move through states on interval evidence, never on bare point
+// estimates:
+//
+//	Probation → Active      when the interval's upper end clears the bar
+//	Probation/Active → Fired when the interval's lower end breaches the bar
+//	anything  → Fired        when the majority screen flags a pure spammer
+//
+// Responses stream in via Record; Review applies the policy to the current
+// statistics. The estimator is the streaming form of the paper's
+// Algorithm A2.
+package pool
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdassess/internal/core"
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/stat"
+)
+
+// State is a worker's position in the pool lifecycle.
+type State int
+
+const (
+	// Probation is the initial state: the worker's quality is unproven.
+	Probation State = iota
+	// Active workers have demonstrated acceptable quality with confidence.
+	Active
+	// Fired workers are out of the pool; their responses are retained for
+	// evaluating others but they receive no further tasks.
+	Fired
+)
+
+// String renders the state for logs and reports.
+func (s State) String() string {
+	switch s {
+	case Probation:
+		return "probation"
+	case Active:
+		return "active"
+	case Fired:
+		return "fired"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Policy sets the decision bars. The zero value is not valid; use
+// DefaultPolicy as a starting point.
+type Policy struct {
+	// Confidence for the intervals feeding decisions (e.g. 0.9).
+	Confidence float64
+	// FireAbove fires a worker once the interval's lower end exceeds it:
+	// even the optimistic reading of the evidence is unacceptable.
+	FireAbove float64
+	// PromoteBelow promotes a probation worker once the interval's upper
+	// end falls below it: even the pessimistic reading is acceptable.
+	PromoteBelow float64
+	// SpammerDisagreement fires on the majority screen regardless of
+	// intervals (the paper's 0.4 cutoff; pure spammers sit on the
+	// estimator's singularity and never produce usable intervals).
+	SpammerDisagreement float64
+	// MinResponses defers any decision on a worker until this many of their
+	// responses have been recorded.
+	MinResponses int
+}
+
+// DefaultPolicy mirrors the thresholds used across the paper's scenarios.
+func DefaultPolicy() Policy {
+	return Policy{
+		Confidence:          0.90,
+		FireAbove:           0.30,
+		PromoteBelow:        0.20,
+		SpammerDisagreement: core.DefaultPruneThreshold,
+		MinResponses:        20,
+	}
+}
+
+func (p Policy) validate() error {
+	if !(p.Confidence > 0 && p.Confidence < 1) {
+		return fmt.Errorf("pool: confidence %v outside (0,1)", p.Confidence)
+	}
+	if p.FireAbove <= 0 || p.FireAbove >= 0.5 {
+		return fmt.Errorf("pool: FireAbove %v outside (0, 0.5)", p.FireAbove)
+	}
+	if p.PromoteBelow <= 0 || p.PromoteBelow > p.FireAbove+0.25 {
+		return fmt.Errorf("pool: PromoteBelow %v implausible against FireAbove %v", p.PromoteBelow, p.FireAbove)
+	}
+	if p.SpammerDisagreement <= 0 || p.SpammerDisagreement >= 1 {
+		return fmt.Errorf("pool: SpammerDisagreement %v outside (0,1)", p.SpammerDisagreement)
+	}
+	if p.MinResponses < 0 {
+		return fmt.Errorf("pool: negative MinResponses %d", p.MinResponses)
+	}
+	return nil
+}
+
+// Action is a state transition produced by Review.
+type Action int
+
+const (
+	// NoChange: the evidence does not yet justify a transition.
+	NoChange Action = iota
+	// Promote: probation → active.
+	Promote
+	// Fire: removed from the pool.
+	Fire
+)
+
+// String renders the action.
+func (a Action) String() string {
+	switch a {
+	case NoChange:
+		return "no-change"
+	case Promote:
+		return "promote"
+	case Fire:
+		return "fire"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Decision reports the outcome of Review for one worker.
+type Decision struct {
+	Worker   int
+	Action   Action
+	State    State         // state after the action
+	Interval stat.Interval // evidence (zero when no estimate exists yet)
+	Reason   string
+}
+
+// Manager tracks the pool.
+type Manager struct {
+	policy    Policy
+	inc       *core.Incremental
+	states    []State
+	responses []int
+}
+
+// ErrFired is returned when a response is recorded for a fired worker.
+var ErrFired = errors.New("pool: worker is fired")
+
+// NewManager creates a pool of the given size, all workers on probation.
+func NewManager(workers int, policy Policy) (*Manager, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	inc, err := core.NewIncremental(workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		policy:    policy,
+		inc:       inc,
+		states:    make([]State, workers),
+		responses: make([]int, workers),
+	}, nil
+}
+
+// Workers returns the pool size (including fired workers).
+func (m *Manager) Workers() int { return len(m.states) }
+
+// State returns worker w's current state.
+func (m *Manager) State(w int) State { return m.states[w] }
+
+// ActiveWorkers returns the indices of workers eligible for new tasks
+// (probation and active).
+func (m *Manager) ActiveWorkers() []int {
+	var out []int
+	for w, s := range m.states {
+		if s != Fired {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Record stores worker w's response on task t. Responses from fired workers
+// are rejected with ErrFired.
+func (m *Manager) Record(w, t int, r crowd.Response) error {
+	if w < 0 || w >= len(m.states) {
+		return fmt.Errorf("pool: worker %d out of range", w)
+	}
+	if m.states[w] == Fired {
+		return fmt.Errorf("pool: worker %d: %w", w, ErrFired)
+	}
+	if err := m.inc.Add(w, t, r); err != nil {
+		return err
+	}
+	m.responses[w]++
+	return nil
+}
+
+// Review applies the policy to the current statistics and returns one
+// decision per non-fired worker with enough responses. State transitions
+// are applied before returning.
+func (m *Manager) Review() ([]Decision, error) {
+	var out []Decision
+	// Spammer screen first: it also protects the interval estimates of the
+	// remaining workers (Section III-E).
+	dis := m.inc.MajorityDisagreement()
+	for w, s := range m.states {
+		if s == Fired || m.responses[w] < m.policy.MinResponses {
+			continue
+		}
+		if dis[w] > m.policy.SpammerDisagreement {
+			m.states[w] = Fired
+			out = append(out, Decision{
+				Worker: w, Action: Fire, State: Fired,
+				Reason: fmt.Sprintf("majority disagreement %.2f above %.2f",
+					dis[w], m.policy.SpammerDisagreement),
+			})
+		}
+	}
+	opts := core.EvalOptions{Confidence: m.policy.Confidence}
+	for w, s := range m.states {
+		if s == Fired || m.responses[w] < m.policy.MinResponses {
+			continue
+		}
+		est, err := m.inc.Evaluate(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		if est.Err != nil {
+			out = append(out, Decision{Worker: w, Action: NoChange, State: s,
+				Reason: "no usable estimate yet"})
+			continue
+		}
+		iv := est.Interval
+		switch {
+		case iv.Lo > m.policy.FireAbove:
+			m.states[w] = Fired
+			out = append(out, Decision{Worker: w, Action: Fire, State: Fired, Interval: iv,
+				Reason: fmt.Sprintf("interval lower bound %.3f above %.2f", iv.Lo, m.policy.FireAbove)})
+		case s == Probation && iv.Hi < m.policy.PromoteBelow:
+			m.states[w] = Active
+			out = append(out, Decision{Worker: w, Action: Promote, State: Active, Interval: iv,
+				Reason: fmt.Sprintf("interval upper bound %.3f below %.2f", iv.Hi, m.policy.PromoteBelow)})
+		default:
+			out = append(out, Decision{Worker: w, Action: NoChange, State: s, Interval: iv,
+				Reason: "interval straddles the decision bars"})
+		}
+	}
+	return out, nil
+}
+
+// Estimates returns the current interval for every non-fired worker with
+// enough responses, without applying any policy action.
+func (m *Manager) Estimates() ([]core.WorkerEstimate, error) {
+	var out []core.WorkerEstimate
+	opts := core.EvalOptions{Confidence: m.policy.Confidence}
+	for w, s := range m.states {
+		if s == Fired || m.responses[w] < m.policy.MinResponses {
+			continue
+		}
+		est, err := m.inc.Evaluate(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+// runCrowd streams a simulated crowd into a manager, reviewing after every
+// reviewEvery tasks. It returns the manager and the simulated true rates.
+func runCrowd(t *testing.T, seed int64, rates []float64, tasks, reviewEvery int, policy Policy) (*Manager, []float64) {
+	t.Helper()
+	src := randx.NewSource(seed)
+	ds, _, err := sim.Binary{Tasks: tasks, Workers: len(rates), ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(len(rates), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < tasks; task++ {
+		for w := 0; w < len(rates); w++ {
+			if m.State(w) == Fired {
+				continue
+			}
+			if err := m.Record(w, task, ds.Response(w, task)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if (task+1)%reviewEvery == 0 {
+			if _, err := m.Review(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m, rates
+}
+
+func TestPolicyValidation(t *testing.T) {
+	cases := []Policy{
+		{},
+		{Confidence: 1.2, FireAbove: 0.3, PromoteBelow: 0.2, SpammerDisagreement: 0.4},
+		{Confidence: 0.9, FireAbove: 0.6, PromoteBelow: 0.2, SpammerDisagreement: 0.4},
+		{Confidence: 0.9, FireAbove: 0.3, PromoteBelow: 0, SpammerDisagreement: 0.4},
+		{Confidence: 0.9, FireAbove: 0.3, PromoteBelow: 0.2, SpammerDisagreement: 2},
+		{Confidence: 0.9, FireAbove: 0.3, PromoteBelow: 0.2, SpammerDisagreement: 0.4, MinResponses: -1},
+	}
+	for i, p := range cases {
+		if _, err := NewManager(5, p); err == nil {
+			t.Errorf("case %d: invalid policy accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewManager(5, DefaultPolicy()); err != nil {
+		t.Errorf("default policy rejected: %v", err)
+	}
+	if _, err := NewManager(2, DefaultPolicy()); err == nil {
+		t.Error("2-worker pool accepted")
+	}
+}
+
+func TestLifecycleSeparatesWorkers(t *testing.T) {
+	rates := []float64{0.05, 0.08, 0.10, 0.12, 0.40, 0.48}
+	m, _ := runCrowd(t, 1, rates, 400, 50, DefaultPolicy())
+
+	// Good workers must not be fired; the two bad workers must be.
+	for w := 0; w < 4; w++ {
+		if m.State(w) == Fired {
+			t.Errorf("good worker %d (rate %v) fired", w, rates[w])
+		}
+	}
+	for w := 4; w < 6; w++ {
+		if m.State(w) != Fired {
+			t.Errorf("bad worker %d (rate %v) not fired, state %v", w, rates[w], m.State(w))
+		}
+	}
+	// At least some good workers earn promotion with 400 tasks of evidence.
+	promoted := 0
+	for w := 0; w < 4; w++ {
+		if m.State(w) == Active {
+			promoted++
+		}
+	}
+	if promoted == 0 {
+		t.Error("no good worker promoted")
+	}
+}
+
+func TestFiredWorkersRejectResponses(t *testing.T) {
+	rates := []float64{0.05, 0.05, 0.05, 0.49}
+	m, _ := runCrowd(t, 2, rates, 300, 50, DefaultPolicy())
+	if m.State(3) != Fired {
+		t.Fatalf("spammer not fired (state %v)", m.State(3))
+	}
+	if err := m.Record(3, 9999, crowd.Yes); !errors.Is(err, ErrFired) {
+		t.Errorf("err = %v, want ErrFired", err)
+	}
+	active := m.ActiveWorkers()
+	if len(active) != 3 {
+		t.Errorf("active workers = %v", active)
+	}
+}
+
+func TestMinResponsesDefersDecisions(t *testing.T) {
+	policy := DefaultPolicy()
+	policy.MinResponses = 1000 // never enough
+	rates := []float64{0.05, 0.05, 0.49}
+	m, _ := runCrowd(t, 3, rates, 200, 50, policy)
+	for w := range rates {
+		if m.State(w) != Probation {
+			t.Errorf("worker %d transitioned despite MinResponses: %v", w, m.State(w))
+		}
+	}
+}
+
+func TestNoGoodWorkerFiredAcrossSeeds(t *testing.T) {
+	// The paper's core promise: interval-based firing protects good workers
+	// from unlucky streaks. Run several seeds and demand zero false firings.
+	for seed := int64(10); seed < 18; seed++ {
+		rates := []float64{0.08, 0.12, 0.15, 0.20, 0.25, 0.45}
+		m, _ := runCrowd(t, seed, rates, 300, 50, DefaultPolicy())
+		for w := 0; w < 5; w++ {
+			if m.State(w) == Fired {
+				t.Errorf("seed %d: worker %d with rate %v fired", seed, w, rates[w])
+			}
+		}
+	}
+}
+
+func TestReviewDecisionsCarryEvidence(t *testing.T) {
+	rates := []float64{0.05, 0.05, 0.05, 0.05, 0.45}
+	src := randx.NewSource(20)
+	ds, _, err := sim.Binary{Tasks: 200, Workers: 5, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(5, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < 200; task++ {
+		for w := 0; w < 5; w++ {
+			if err := m.Record(w, task, ds.Response(w, task)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decisions, err := m.Review()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) == 0 {
+		t.Fatal("no decisions")
+	}
+	for _, d := range decisions {
+		if d.Reason == "" {
+			t.Errorf("decision for worker %d lacks a reason", d.Worker)
+		}
+		if d.Action == Promote && !(d.Interval.Hi < DefaultPolicy().PromoteBelow) {
+			t.Errorf("promotion without evidence: %+v", d)
+		}
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	rates := []float64{0.1, 0.1, 0.1, 0.1}
+	m, _ := runCrowd(t, 21, rates, 100, 100, DefaultPolicy())
+	ests, err := m.Estimates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 4 {
+		t.Fatalf("%d estimates", len(ests))
+	}
+	for _, e := range ests {
+		if e.Err == nil && !e.Interval.IsValid() {
+			t.Errorf("worker %d: invalid interval", e.Worker)
+		}
+	}
+}
+
+func TestStateAndActionStrings(t *testing.T) {
+	if Probation.String() != "probation" || Active.String() != "active" || Fired.String() != "fired" {
+		t.Error("state strings wrong")
+	}
+	if NoChange.String() != "no-change" || Promote.String() != "promote" || Fire.String() != "fire" {
+		t.Error("action strings wrong")
+	}
+	if State(9).String() == "" || Action(9).String() == "" {
+		t.Error("unknown values render empty")
+	}
+}

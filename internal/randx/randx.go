@@ -1,0 +1,89 @@
+// Package randx wraps a seeded pseudo-random source with the samplers the
+// simulators need — Bernoulli trials, categorical draws, permutations and
+// subset selection — so that every experiment in the reproduction is
+// deterministic given its seed.
+package randx
+
+import "math/rand"
+
+// Source is a deterministic random source. All simulator entry points take a
+// *Source so replicate r of an experiment can use NewSource(baseSeed + r).
+type Source struct {
+	rng *rand.Rand
+}
+
+// NewSource returns a Source seeded with seed.
+func NewSource(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform draw from [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform draw from {0, …, n−1}. It panics if n ≤ 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// NormFloat64 returns a standard normal draw.
+func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// Categorical draws an index from the (not necessarily normalized) weight
+// vector w. It panics if the weights are empty or sum to a non-positive
+// value.
+func (s *Source) Categorical(w []float64) int {
+	if len(w) == 0 {
+		panic("randx: empty categorical weights")
+	}
+	var total float64
+	for _, x := range w {
+		if x < 0 {
+			panic("randx: negative categorical weight")
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("randx: categorical weights sum to zero")
+	}
+	u := s.rng.Float64() * total
+	var acc float64
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	return len(w) - 1 // floating-point tail
+}
+
+// Choice returns a uniform draw from xs. It panics on empty input.
+func (s *Source) Choice(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("randx: Choice from empty slice")
+	}
+	return xs[s.rng.Intn(len(xs))]
+}
+
+// Perm returns a random permutation of {0, …, n−1}.
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle permutes xs in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// SampleWithoutReplacement returns k distinct values from {0, …, n−1} in
+// random order. It panics if k > n or k < 0.
+func (s *Source) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("randx: invalid sample size")
+	}
+	return s.rng.Perm(n)[:k]
+}

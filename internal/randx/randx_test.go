@@ -1,0 +1,163 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewSource(43)
+	same := true
+	a = NewSource(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := NewSource(1)
+	for i := 0; i < 50; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := NewSource(2)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", freq)
+	}
+}
+
+func TestCategoricalFrequency(t *testing.T) {
+	s := NewSource(3)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("class %d frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	s := NewSource(4)
+	for _, w := range [][]float64{nil, {0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", w)
+				}
+			}()
+			s.Categorical(w)
+		}()
+	}
+}
+
+func TestChoice(t *testing.T) {
+	s := NewSource(5)
+	xs := []float64{0.1, 0.2, 0.3}
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		v := s.Choice(xs)
+		seen[v] = true
+		if v != 0.1 && v != 0.2 && v != 0.3 {
+			t.Fatalf("Choice returned %v", v)
+		}
+	}
+	if len(seen) != 3 {
+		t.Error("Choice never returned some elements")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSource(6)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := NewSource(7)
+	got := s.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid sample %v", got)
+		}
+		seen[v] = true
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized sample did not panic")
+			}
+		}()
+		s.SampleWithoutReplacement(3, 4)
+	}()
+}
+
+func TestShuffle(t *testing.T) {
+	s := NewSource(8)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := NewSource(9)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 || math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal moments off: mean=%v var=%v", mean, variance)
+	}
+}

@@ -1,0 +1,146 @@
+// Package report renders experiment results as aligned text tables, CSV, or
+// gnuplot-style .dat blocks — the three formats the benchmark harness and
+// the crowdbench CLI emit.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"crowdassess/internal/eval"
+)
+
+// WriteTable renders the result as an aligned text table: one row per x
+// value, one column per series.
+func WriteTable(w io.Writer, res *eval.Result) error {
+	if len(res.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no series\n", res.Name)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", res.Name, res.Title); err != nil {
+		return err
+	}
+	// Header.
+	cols := []string{res.XLabel}
+	for _, s := range res.Series {
+		cols = append(cols, s.Label)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+		if widths[i] < 8 {
+			widths[i] = 8
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(cols); err != nil {
+		return err
+	}
+	// Rows keyed by the first series' x grid (all series share the grid).
+	for i, pt := range res.Series[0].Points {
+		cells := []string{fmt.Sprintf("%.2f", pt.X)}
+		for _, s := range res.Series {
+			if i < len(s.Points) {
+				cells = append(cells, fmt.Sprintf("%.4f", s.Points[i].Y))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		if err := writeRow(cells); err != nil {
+			return err
+		}
+	}
+	if res.Failures > 0 {
+		if _, err := fmt.Fprintf(w, "# degenerate samples skipped: %d\n", res.Failures); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the result as CSV with a header row.
+func WriteCSV(w io.Writer, res *eval.Result) error {
+	cols := []string{csvEscape(res.XLabel)}
+	for _, s := range res.Series {
+		cols = append(cols, csvEscape(s.Label))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	if len(res.Series) == 0 {
+		return nil
+	}
+	for i, pt := range res.Series[0].Points {
+		cells := []string{fmt.Sprintf("%g", pt.X)}
+		for _, s := range res.Series {
+			if i < len(s.Points) {
+				cells = append(cells, fmt.Sprintf("%g", s.Points[i].Y))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// WriteGnuplot renders the result as gnuplot-compatible data blocks: one
+// block per series separated by two blank lines, with series labels in
+// comments (matching the paper's plot tooling).
+func WriteGnuplot(w io.Writer, res *eval.Result) error {
+	if _, err := fmt.Fprintf(w, "# %s\n# x: %s, y: %s\n", res.Title, res.XLabel, res.YLabel); err != nil {
+		return err
+	}
+	for si, s := range res.Series {
+		if si > 0 {
+			if _, err := fmt.Fprint(w, "\n\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# series: %s\n", s.Label); err != nil {
+			return err
+		}
+		for _, pt := range s.Points {
+			if _, err := fmt.Fprintf(w, "%g %g\n", pt.X, pt.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Formats lists the renderer names accepted by Write.
+func Formats() []string { return []string{"table", "csv", "gnuplot"} }
+
+// Write renders res in the named format.
+func Write(w io.Writer, format string, res *eval.Result) error {
+	switch format {
+	case "table":
+		return WriteTable(w, res)
+	case "csv":
+		return WriteCSV(w, res)
+	case "gnuplot":
+		return WriteGnuplot(w, res)
+	}
+	return fmt.Errorf("report: unknown format %q (known: %v)", format, Formats())
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crowdassess/internal/eval"
+)
+
+func sampleResult() *eval.Result {
+	return &eval.Result{
+		Name:   "fig_test",
+		Title:  "A test figure",
+		XLabel: "Confidence",
+		YLabel: "Size",
+		Series: []eval.Series{
+			{Label: "series A", Points: []eval.Point{{X: 0.1, Y: 0.5}, {X: 0.2, Y: 0.4}}},
+			{Label: "series,B", Points: []eval.Point{{X: 0.1, Y: 0.9}, {X: 0.2, Y: 0.8}}},
+		},
+		Failures: 3,
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig_test", "series A", "0.10", "0.5000", "degenerate samples skipped: 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTableEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, &eval.Result{Name: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no series") {
+		t.Errorf("empty table output: %q", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines: %v", len(lines), lines)
+	}
+	if lines[0] != `Confidence,series A,"series,B"` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,0.5,0.9" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteGnuplot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGnuplot(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# series: series A") {
+		t.Error("missing series comment")
+	}
+	if !strings.Contains(out, "0.1 0.5") {
+		t.Error("missing data point")
+	}
+	if !strings.Contains(out, "\n\n\n# series:") {
+		t.Error("series blocks not separated by blank lines")
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	for _, f := range Formats() {
+		if err := Write(&buf, f, sampleResult()); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+	}
+	if err := Write(&buf, "nonsense", sampleResult()); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+)
+
+// Confusion is a k×k worker response-probability matrix: Confusion[j1][j2]
+// is the probability the worker answers class j2+1 when the truth is class
+// j1+1. Rows must sum to 1.
+type Confusion [][]float64
+
+// NewConfusion validates and wraps a response-probability matrix.
+func NewConfusion(rows [][]float64) (Confusion, error) {
+	k := len(rows)
+	if k < 2 {
+		return nil, fmt.Errorf("sim: confusion arity %d < 2", k)
+	}
+	for i, row := range rows {
+		if len(row) != k {
+			return nil, fmt.Errorf("sim: confusion row %d has %d entries, want %d", i, len(row), k)
+		}
+		var sum float64
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("sim: confusion row %d has probability %v outside [0,1]", i, v)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			return nil, fmt.Errorf("sim: confusion row %d sums to %v", i, sum)
+		}
+	}
+	return Confusion(rows), nil
+}
+
+// MustConfusion is NewConfusion panicking on error, for static tables.
+func MustConfusion(rows [][]float64) Confusion {
+	c, err := NewConfusion(rows)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Arity returns k.
+func (c Confusion) Arity() int { return len(c) }
+
+// At returns the probability of responding j2 when the truth is j1
+// (1-based classes, matching crowd.Response).
+func (c Confusion) At(j1, j2 crowd.Response) float64 { return c[j1-1][j2-1] }
+
+// Clone returns a deep copy.
+func (c Confusion) Clone() Confusion {
+	out := make(Confusion, len(c))
+	for i, row := range c {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Diagonal returns the per-class correctness probabilities.
+func (c Confusion) Diagonal() []float64 {
+	out := make([]float64, len(c))
+	for i := range c {
+		out[i] = c[i][i]
+	}
+	return out
+}
+
+// KAry configures a synthetic k-ary crowd (Section IV experiments).
+type KAry struct {
+	Tasks   int
+	Workers int
+
+	// Confusions fixes each worker's response-probability matrix. When nil,
+	// each worker draws uniformly from ConfusionChoices.
+	Confusions       []Confusion
+	ConfusionChoices []Confusion
+
+	// Selectivity is the prior over true classes; nil means uniform.
+	Selectivity []float64
+
+	// Densities / Density as in Binary. Zero Density means 1.
+	Densities []float64
+	Density   float64
+}
+
+// Generate draws a dataset from the configuration. It returns the dataset
+// (gold answers populated) and each worker's true confusion matrix.
+func (k KAry) Generate(src *randx.Source) (*crowd.Dataset, []Confusion, error) {
+	if k.Tasks <= 0 || k.Workers <= 0 {
+		return nil, nil, fmt.Errorf("sim: invalid shape %d workers × %d tasks", k.Workers, k.Tasks)
+	}
+	confs := k.Confusions
+	if confs == nil {
+		if len(k.ConfusionChoices) == 0 {
+			return nil, nil, fmt.Errorf("sim: KAry needs Confusions or ConfusionChoices")
+		}
+		confs = make([]Confusion, k.Workers)
+		for i := range confs {
+			confs[i] = k.ConfusionChoices[src.Intn(len(k.ConfusionChoices))]
+		}
+	} else if len(confs) != k.Workers {
+		return nil, nil, fmt.Errorf("sim: %d confusions for %d workers", len(confs), k.Workers)
+	}
+	arity := confs[0].Arity()
+	for i, c := range confs {
+		if c.Arity() != arity {
+			return nil, nil, fmt.Errorf("sim: confusion %d has arity %d, want %d", i, c.Arity(), arity)
+		}
+	}
+	sel := k.Selectivity
+	if sel == nil {
+		sel = make([]float64, arity)
+		for i := range sel {
+			sel[i] = 1 / float64(arity)
+		}
+	} else if len(sel) != arity {
+		return nil, nil, fmt.Errorf("sim: selectivity has %d classes, want %d", len(sel), arity)
+	}
+	densities := k.Densities
+	if densities == nil {
+		d := k.Density
+		if d == 0 {
+			d = 1
+		}
+		densities = make([]float64, k.Workers)
+		for i := range densities {
+			densities[i] = d
+		}
+	} else if len(densities) != k.Workers {
+		return nil, nil, fmt.Errorf("sim: %d densities for %d workers", len(densities), k.Workers)
+	}
+
+	ds, err := crowd.NewDataset(k.Workers, k.Tasks, arity)
+	if err != nil {
+		return nil, nil, err
+	}
+	for t := 0; t < k.Tasks; t++ {
+		truth := crowd.Response(src.Categorical(sel) + 1)
+		if err := ds.SetTruth(t, truth); err != nil {
+			return nil, nil, err
+		}
+		for w := 0; w < k.Workers; w++ {
+			if !src.Bernoulli(densities[w]) {
+				continue
+			}
+			resp := crowd.Response(src.Categorical(confs[w][truth-1]) + 1)
+			if err := ds.SetResponse(w, t, resp); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	out := make([]Confusion, len(confs))
+	for i, c := range confs {
+		out[i] = c.Clone()
+	}
+	return ds, out, nil
+}

@@ -1,0 +1,76 @@
+package sim
+
+// The paper's Section IV-B evaluation assigns each synthetic worker one of
+// three response-probability matrices per arity, "chosen arbitrarily".
+// These are the exact matrices printed in the paper.
+
+// PaperMatricesArity2 are the paper's three arity-2 worker matrices.
+var PaperMatricesArity2 = []Confusion{
+	MustConfusion([][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+	}),
+	MustConfusion([][]float64{
+		{0.8, 0.2},
+		{0.1, 0.9},
+	}),
+	MustConfusion([][]float64{
+		{0.9, 0.1},
+		{0.1, 0.9},
+	}),
+}
+
+// PaperMatricesArity3 are the paper's three arity-3 worker matrices.
+var PaperMatricesArity3 = []Confusion{
+	MustConfusion([][]float64{
+		{0.6, 0.3, 0.1},
+		{0.1, 0.6, 0.3},
+		{0.3, 0.1, 0.6},
+	}),
+	MustConfusion([][]float64{
+		{0.8, 0.1, 0.1},
+		{0.2, 0.8, 0.0},
+		{0.0, 0.2, 0.8},
+	}),
+	MustConfusion([][]float64{
+		{0.9, 0.0, 0.1},
+		{0.1, 0.9, 0.0},
+		{0.0, 0.2, 0.8},
+	}),
+}
+
+// PaperMatricesArity4 are the paper's three arity-4 worker matrices.
+var PaperMatricesArity4 = []Confusion{
+	MustConfusion([][]float64{
+		{0.7, 0.1, 0.1, 0.1},
+		{0.1, 0.6, 0.2, 0.1},
+		{0.0, 0.1, 0.8, 0.1},
+		{0.2, 0.1, 0.0, 0.7},
+	}),
+	MustConfusion([][]float64{
+		{0.8, 0.1, 0.0, 0.1},
+		{0.1, 0.8, 0.0, 0.1},
+		{0.1, 0.1, 0.7, 0.1},
+		{0.0, 0.1, 0.2, 0.7},
+	}),
+	MustConfusion([][]float64{
+		{0.6, 0.1, 0.2, 0.1},
+		{0.0, 0.7, 0.1, 0.2},
+		{0.1, 0.0, 0.9, 0.0},
+		{0.2, 0.0, 0.0, 0.8},
+	}),
+}
+
+// PaperMatrices returns the paper's matrices for arity k ∈ {2, 3, 4}, or nil
+// for any other arity.
+func PaperMatrices(k int) []Confusion {
+	switch k {
+	case 2:
+		return PaperMatricesArity2
+	case 3:
+		return PaperMatricesArity3
+	case 4:
+		return PaperMatricesArity4
+	}
+	return nil
+}

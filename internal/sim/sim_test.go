@@ -1,0 +1,451 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+)
+
+func TestBinaryGenerateShape(t *testing.T) {
+	src := randx.NewSource(1)
+	ds, rates, err := Binary{Tasks: 50, Workers: 4}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Workers() != 4 || ds.Tasks() != 50 || ds.Arity() != 2 {
+		t.Fatalf("shape %d×%d arity %d", ds.Workers(), ds.Tasks(), ds.Arity())
+	}
+	if len(rates) != 4 {
+		t.Fatalf("rates = %v", rates)
+	}
+	for _, p := range rates {
+		if p != 0.1 && p != 0.2 && p != 0.3 {
+			t.Errorf("rate %v not from default choices", p)
+		}
+	}
+	if !ds.IsRegular() {
+		t.Error("default density should be regular")
+	}
+	if !ds.HasTruth() {
+		t.Error("truth not populated")
+	}
+}
+
+func TestBinaryGenerateValidation(t *testing.T) {
+	src := randx.NewSource(1)
+	if _, _, err := (Binary{Tasks: 0, Workers: 3}).Generate(src); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, _, err := (Binary{Tasks: 5, Workers: 3, ErrorRates: []float64{0.1}}).Generate(src); err == nil {
+		t.Error("mismatched error rates accepted")
+	}
+	if _, _, err := (Binary{Tasks: 5, Workers: 3, Densities: []float64{0.5}}).Generate(src); err == nil {
+		t.Error("mismatched densities accepted")
+	}
+}
+
+func TestBinaryGenerateErrorRateRealized(t *testing.T) {
+	src := randx.NewSource(7)
+	ds, _, err := Binary{
+		Tasks:      4000,
+		Workers:    2,
+		ErrorRates: []float64{0.1, 0.3},
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range []float64{0.1, 0.3} {
+		got, err := ds.TrueErrorRate(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.025 {
+			t.Errorf("worker %d realized error %v, want ≈%v", w, got, want)
+		}
+	}
+}
+
+func TestBinaryDensityRealized(t *testing.T) {
+	src := randx.NewSource(8)
+	ds, _, err := Binary{Tasks: 3000, Workers: 3, Density: 0.6}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ds.Density(); math.Abs(d-0.6) > 0.03 {
+		t.Errorf("density %v, want ≈0.6", d)
+	}
+}
+
+func TestBinaryPerWorkerDensities(t *testing.T) {
+	src := randx.NewSource(9)
+	ds, _, err := Binary{
+		Tasks:     2000,
+		Workers:   2,
+		Densities: []float64{0.9, 0.3},
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := float64(ds.ResponseCount(0)) / 2000
+	d1 := float64(ds.ResponseCount(1)) / 2000
+	if math.Abs(d0-0.9) > 0.04 || math.Abs(d1-0.3) > 0.04 {
+		t.Errorf("densities %v %v, want 0.9 0.3", d0, d1)
+	}
+}
+
+func TestBinarySelectivity(t *testing.T) {
+	src := randx.NewSource(10)
+	ds, _, err := Binary{Tasks: 5000, Workers: 1, Selectivity: 0.8}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := ds.GoldSelectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sel[0]-0.8) > 0.03 {
+		t.Errorf("selectivity %v, want ≈0.8", sel[0])
+	}
+}
+
+func TestBinaryDifficultyCorrelatesErrors(t *testing.T) {
+	// With large per-task difficulty jitter, two workers' mistakes land on
+	// the same (hard) tasks more often than independence predicts.
+	src := randx.NewSource(11)
+	ds, _, err := Binary{
+		Tasks:            6000,
+		Workers:          2,
+		ErrorRates:       []float64{0.2, 0.2},
+		DifficultyStdDev: 0.18,
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bothWrong, n := 0, 0
+	for task := 0; task < ds.Tasks(); task++ {
+		g := ds.Truth(task)
+		r0, r1 := ds.Response(0, task), ds.Response(1, task)
+		if r0 == crowd.None || r1 == crowd.None {
+			continue
+		}
+		n++
+		if r0 != g && r1 != g {
+			bothWrong++
+		}
+	}
+	jointRate := float64(bothWrong) / float64(n)
+	// Independent 0.2×0.2 would be 0.04; difficulty pushes it well above.
+	if jointRate < 0.05 {
+		t.Errorf("joint error rate %v shows no correlation", jointRate)
+	}
+}
+
+func TestFig2cDensities(t *testing.T) {
+	d := Fig2cDensities(7)
+	if len(d) != 7 {
+		t.Fatalf("len = %d", len(d))
+	}
+	// dᵢ = (0.5i + m − i)/m decreases from (0.5+6)/7 to 3.5/7.
+	if math.Abs(d[0]-6.5/7) > 1e-12 || math.Abs(d[6]-0.5) > 1e-12 {
+		t.Errorf("densities = %v", d)
+	}
+	for i := 1; i < 7; i++ {
+		if d[i] >= d[i-1] {
+			t.Errorf("densities not decreasing: %v", d)
+		}
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	if _, err := NewConfusion([][]float64{{1}}); err == nil {
+		t.Error("arity 1 accepted")
+	}
+	if _, err := NewConfusion([][]float64{{0.5, 0.5}, {0.5}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := NewConfusion([][]float64{{0.7, 0.2}, {0.5, 0.5}}); err == nil {
+		t.Error("non-stochastic row accepted")
+	}
+	if _, err := NewConfusion([][]float64{{1.2, -0.2}, {0.5, 0.5}}); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+	c, err := NewConfusion([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arity() != 2 || c.At(1, 1) != 0.9 || c.At(2, 1) != 0.2 {
+		t.Error("confusion accessors wrong")
+	}
+	diag := c.Diagonal()
+	if diag[0] != 0.9 || diag[1] != 0.8 {
+		t.Errorf("Diagonal = %v", diag)
+	}
+	cl := c.Clone()
+	cl[0][0] = 0
+	if c[0][0] != 0.9 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPaperMatrices(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		ms := PaperMatrices(k)
+		if len(ms) != 3 {
+			t.Fatalf("arity %d: %d matrices", k, len(ms))
+		}
+		for i, m := range ms {
+			if m.Arity() != k {
+				t.Errorf("arity %d matrix %d has arity %d", k, i, m.Arity())
+			}
+			// Paper assumption: diagonal strictly dominates each row.
+			for j1 := 1; j1 <= k; j1++ {
+				for j2 := 1; j2 <= k; j2++ {
+					if j1 != j2 && m.At(crowd.Response(j1), crowd.Response(j1)) <= m.At(crowd.Response(j1), crowd.Response(j2)) {
+						t.Errorf("arity %d matrix %d: row %d diagonal not dominant", k, i, j1)
+					}
+				}
+			}
+		}
+	}
+	if PaperMatrices(5) != nil {
+		t.Error("unexpected matrices for arity 5")
+	}
+}
+
+func TestKAryGenerate(t *testing.T) {
+	src := randx.NewSource(13)
+	ds, confs, err := KAry{
+		Tasks:            300,
+		Workers:          3,
+		ConfusionChoices: PaperMatricesArity3,
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Arity() != 3 || ds.Workers() != 3 || ds.Tasks() != 300 {
+		t.Fatalf("shape %d×%d arity %d", ds.Workers(), ds.Tasks(), ds.Arity())
+	}
+	if len(confs) != 3 {
+		t.Fatalf("confs = %d", len(confs))
+	}
+	if !ds.HasTruth() {
+		t.Error("truth missing")
+	}
+}
+
+func TestKAryGenerateRealizesConfusion(t *testing.T) {
+	src := randx.NewSource(14)
+	conf := PaperMatricesArity2[0] // {{0.9,0.1},{0.2,0.8}}
+	ds, _, err := KAry{
+		Tasks:      8000,
+		Workers:    1,
+		Confusions: []Confusion{conf},
+	}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, hasRow, err := ds.TrueConfusion(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j1 := 0; j1 < 2; j1++ {
+		if !hasRow[j1] {
+			t.Fatalf("row %d unobserved", j1)
+		}
+		for j2 := 0; j2 < 2; j2++ {
+			if math.Abs(got[j1][j2]-conf[j1][j2]) > 0.03 {
+				t.Errorf("P(%d,%d) realized %v, want ≈%v", j1, j2, got[j1][j2], conf[j1][j2])
+			}
+		}
+	}
+}
+
+func TestKAryValidation(t *testing.T) {
+	src := randx.NewSource(15)
+	if _, _, err := (KAry{Tasks: 10, Workers: 2}).Generate(src); err == nil {
+		t.Error("missing confusions accepted")
+	}
+	if _, _, err := (KAry{
+		Tasks:      10,
+		Workers:    2,
+		Confusions: []Confusion{PaperMatricesArity2[0], PaperMatricesArity3[0]},
+	}).Generate(src); err == nil {
+		t.Error("mixed arities accepted")
+	}
+	if _, _, err := (KAry{
+		Tasks:       10,
+		Workers:     1,
+		Confusions:  []Confusion{PaperMatricesArity2[0]},
+		Selectivity: []float64{1, 0, 0},
+	}).Generate(src); err == nil {
+		t.Error("wrong-length selectivity accepted")
+	}
+}
+
+func TestEmulateIC(t *testing.T) {
+	ds, err := EmulateIC(randx.NewSource(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Workers() != 19 || ds.Tasks() != 48 || ds.Arity() != 2 {
+		t.Fatalf("IC shape %d×%d arity %d", ds.Workers(), ds.Tasks(), ds.Arity())
+	}
+	if d := ds.Density(); math.Abs(d-0.8) > 0.02 {
+		t.Errorf("IC density %v, want ≈0.8 (20%% removed)", d)
+	}
+	if !ds.HasTruth() {
+		t.Error("IC gold answers missing")
+	}
+}
+
+func TestEmulateSnowShapes(t *testing.T) {
+	rte, err := EmulateRTE(randx.NewSource(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rte.Workers() != 164 || rte.Tasks() != 800 {
+		t.Fatalf("RTE shape %d×%d", rte.Workers(), rte.Tasks())
+	}
+	if d := rte.Density(); d > 0.5 {
+		t.Errorf("RTE density %v too high for a sparse dataset", d)
+	}
+	tem, err := EmulateTEM(randx.NewSource(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tem.Workers() != 76 || tem.Tasks() != 462 {
+		t.Fatalf("TEM shape %d×%d", tem.Workers(), tem.Tasks())
+	}
+}
+
+func TestEmulateMOOC(t *testing.T) {
+	ds, err := EmulateMOOC(randx.NewSource(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Arity() != 3 {
+		t.Fatalf("MOOC arity %d, want 3 after collapse", ds.Arity())
+	}
+	// The Fig 5(c) protocol needs ≥50 triples with ≥60 common tasks.
+	att := ds.Attendance()
+	count := 0
+	m := ds.Workers()
+	for i := 0; i < m && count < 50; i++ {
+		for j := i + 1; j < m && count < 50; j++ {
+			for k := j + 1; k < m && count < 50; k++ {
+				if att.Common3(i, j, k) >= 60 {
+					count++
+				}
+			}
+		}
+	}
+	if count < 50 {
+		t.Errorf("MOOC has only %d triples with ≥60 common tasks", count)
+	}
+}
+
+func TestEmulateWSD(t *testing.T) {
+	ds, err := EmulateWSD(randx.NewSource(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Arity() != 2 {
+		t.Fatalf("WSD arity %d, want 2 after merge", ds.Arity())
+	}
+	att := ds.Attendance()
+	count := 0
+	m := ds.Workers()
+	for i := 0; i < m && count < 50; i++ {
+		for j := i + 1; j < m && count < 50; j++ {
+			for k := j + 1; k < m && count < 50; k++ {
+				if att.Common3(i, j, k) >= 100 {
+					count++
+				}
+			}
+		}
+	}
+	if count < 50 {
+		t.Errorf("WSD has only %d triples with ≥100 common tasks", count)
+	}
+}
+
+func TestEmulateWS(t *testing.T) {
+	ds, err := EmulateWS(randx.NewSource(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Arity() != 2 {
+		t.Fatalf("WS arity %d, want 2 after threshold", ds.Arity())
+	}
+	// Sparse enough that ≥30-common triples exist but aren't universal, and
+	// at least 50 of them exist for the experiment protocol.
+	att := ds.Attendance()
+	ge30 := 0
+	m := ds.Workers()
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			for k := j + 1; k < m; k++ {
+				if att.Common3(i, j, k) >= 30 {
+					ge30++
+				}
+			}
+		}
+	}
+	if ge30 < 50 {
+		t.Errorf("WS has only %d triples with ≥30 common tasks", ge30)
+	}
+}
+
+func TestEmulatorsDeterministic(t *testing.T) {
+	a, err := EmulateIC(randx.NewSource(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EmulateIC(randx.NewSource(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < a.Workers(); w++ {
+		for task := 0; task < a.Tasks(); task++ {
+			if a.Response(w, task) != b.Response(w, task) {
+				t.Fatal("same seed produced different IC datasets")
+			}
+		}
+	}
+}
+
+func TestAdjacentConfusionRowsStochastic(t *testing.T) {
+	src := randx.NewSource(31)
+	c := adjacentConfusion(6, 0.7, src)
+	for j1 := 0; j1 < 6; j1++ {
+		var sum float64
+		for j2 := 0; j2 < 6; j2++ {
+			sum += c[j1][j2]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", j1, sum)
+		}
+		if c[j1][j1] < 0.5 {
+			t.Errorf("row %d diagonal %v too small", j1, c[j1][j1])
+		}
+	}
+}
+
+func TestBandedConfusionDecays(t *testing.T) {
+	c := bandedConfusion(11, 1.5)
+	for j1 := 0; j1 < 11; j1++ {
+		var sum float64
+		for j2 := 0; j2 < 11; j2++ {
+			sum += c[j1][j2]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", j1, sum)
+		}
+	}
+	// Probability decays with distance from the truth.
+	if !(c[5][5] > c[5][6] && c[5][6] > c[5][8]) {
+		t.Error("banded confusion not decaying")
+	}
+}

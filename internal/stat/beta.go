@@ -1,0 +1,118 @@
+package stat
+
+import "math"
+
+// RegularizedIncompleteBeta computes I_x(a, b), the regularized incomplete
+// beta function, via the standard continued-fraction expansion (Lentz's
+// method). Domain: a, b > 0 and x ∈ [0, 1]; NaN outside.
+//
+// It underpins the exact binomial (Clopper–Pearson) intervals used by the
+// gold-standard evaluator: the classical technique the paper's introduction
+// positions its method against.
+func RegularizedIncompleteBeta(a, b, x float64) float64 {
+	switch {
+	case a <= 0 || b <= 0 || x < 0 || x > 1 || math.IsNaN(x):
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x == 1:
+		return 1
+	}
+	// Use the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) to keep the continued
+	// fraction in its fast-converging region.
+	if x > (a+1)/(a+b+2) {
+		return 1 - RegularizedIncompleteBeta(b, a, 1-x)
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+
+	// Modified Lentz's algorithm for the continued fraction.
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-300
+	)
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= maxIter; i++ {
+		m := float64(i / 2)
+		var numerator float64
+		switch {
+		case i == 0:
+			numerator = 1
+		case i%2 == 0:
+			numerator = m * (b - m) * x / ((a + 2*m - 1) * (a + 2*m))
+		default:
+			numerator = -(a + m) * (a + b + m) * x / ((a + 2*m) * (a + 2*m + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		cd := c * d
+		f *= cd
+		if math.Abs(1-cd) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// BetaQuantile inverts I_x(a, b) = p by bisection (robust and plenty fast
+// for interval construction). Domain: a, b > 0 and p ∈ [0, 1].
+func BetaQuantile(a, b, p float64) float64 {
+	switch {
+	case a <= 0 || b <= 0 || p < 0 || p > 1 || math.IsNaN(p):
+		return math.NaN()
+	case p == 0:
+		return 0
+	case p == 1:
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if RegularizedIncompleteBeta(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-14 {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ClopperPearson returns the exact two-sided binomial confidence interval
+// for k successes out of n trials at confidence c — the "standard
+// statistical technique" usable when gold answers exist. Unlike Wald and
+// Wilson it guarantees coverage ≥ c for every (k, n, p).
+func ClopperPearson(k, n int, c float64) Interval {
+	if n <= 0 {
+		return Interval{Mean: 0.5, Lo: 0, Hi: 1, Confidence: c}
+	}
+	alpha := 1 - c
+	p := float64(k) / float64(n)
+	iv := Interval{Mean: p, Confidence: c}
+	if k == 0 {
+		iv.Lo = 0
+	} else {
+		iv.Lo = BetaQuantile(float64(k), float64(n-k+1), alpha/2)
+	}
+	if k == n {
+		iv.Hi = 1
+	} else {
+		iv.Hi = BetaQuantile(float64(k+1), float64(n-k), 1-alpha/2)
+	}
+	return iv
+}

@@ -1,0 +1,135 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncompleteBetaKnownValues(t *testing.T) {
+	cases := []struct{ a, b, x, want float64 }{
+		// I_x(1, 1) = x (uniform distribution CDF).
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.77, 0.77},
+		// I_x(1, b) = 1 − (1−x)^b.
+		{1, 2, 0.5, 0.75},
+		{1, 3, 0.2, 1 - math.Pow(0.8, 3)},
+		// I_x(a, 1) = x^a.
+		{2, 1, 0.5, 0.25},
+		{3, 1, 0.9, math.Pow(0.9, 3)},
+		// Symmetric case: I_{1/2}(a, a) = 1/2.
+		{5, 5, 0.5, 0.5},
+		{0.5, 0.5, 0.5, 0.5},
+		// Binomial tail: P(X ≤ 2) for Bin(5, 0.3) = I_{0.7}(3, 3).
+		{3, 3, 0.7, 0.83692},
+	}
+	for _, c := range cases {
+		got := RegularizedIncompleteBeta(c.a, c.b, c.x)
+		if math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIncompleteBetaEdges(t *testing.T) {
+	if got := RegularizedIncompleteBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := RegularizedIncompleteBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	for _, bad := range [][3]float64{{-1, 1, 0.5}, {1, 0, 0.5}, {1, 1, -0.1}, {1, 1, 1.1}} {
+		if got := RegularizedIncompleteBeta(bad[0], bad[1], bad[2]); !math.IsNaN(got) {
+			t.Errorf("I with %v = %v, want NaN", bad, got)
+		}
+	}
+}
+
+// Property: I_x(a,b) is a CDF in x — monotone from 0 to 1.
+func TestIncompleteBetaMonotone(t *testing.T) {
+	f := func(a8, b8 uint8) bool {
+		a := 0.5 + 5*float64(a8)/255
+		b := 0.5 + 5*float64(b8)/255
+		prev := 0.0
+		for x := 0.05; x < 1; x += 0.05 {
+			v := RegularizedIncompleteBeta(a, b, x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BetaQuantile inverts the CDF.
+func TestBetaQuantileRoundTrip(t *testing.T) {
+	for _, ab := range [][2]float64{{1, 1}, {2, 5}, {0.5, 0.5}, {10, 3}} {
+		for p := 0.05; p < 1; p += 0.1 {
+			x := BetaQuantile(ab[0], ab[1], p)
+			back := RegularizedIncompleteBeta(ab[0], ab[1], x)
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("a=%v b=%v: CDF(Quantile(%v)) = %v", ab[0], ab[1], p, back)
+			}
+		}
+	}
+	if !math.IsNaN(BetaQuantile(0, 1, 0.5)) {
+		t.Error("invalid a accepted")
+	}
+	if BetaQuantile(2, 2, 0) != 0 || BetaQuantile(2, 2, 1) != 1 {
+		t.Error("edge quantiles wrong")
+	}
+}
+
+func TestClopperPearsonKnownValues(t *testing.T) {
+	// Classical reference: k=5, n=10, 95% → [0.187, 0.813].
+	iv := ClopperPearson(5, 10, 0.95)
+	if math.Abs(iv.Lo-0.1871) > 5e-3 || math.Abs(iv.Hi-0.8129) > 5e-3 {
+		t.Errorf("CP(5,10) = %v", iv)
+	}
+	// k=0: lower bound exactly 0; upper = 1 − (α/2)^{1/n}.
+	iv = ClopperPearson(0, 20, 0.95)
+	if iv.Lo != 0 {
+		t.Errorf("CP(0,20).Lo = %v", iv.Lo)
+	}
+	wantHi := 1 - math.Pow(0.025, 1.0/20)
+	if math.Abs(iv.Hi-wantHi) > 1e-6 {
+		t.Errorf("CP(0,20).Hi = %v, want %v", iv.Hi, wantHi)
+	}
+	// Symmetry: CP(k,n) mirrors CP(n−k,n).
+	a := ClopperPearson(3, 12, 0.9)
+	b := ClopperPearson(9, 12, 0.9)
+	if math.Abs(a.Lo-(1-b.Hi)) > 1e-9 || math.Abs(a.Hi-(1-b.Lo)) > 1e-9 {
+		t.Errorf("CP not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestClopperPearsonDegenerate(t *testing.T) {
+	iv := ClopperPearson(0, 0, 0.9)
+	if iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("CP with n=0 = %v", iv)
+	}
+}
+
+// Property: Clopper–Pearson contains the point estimate and is at least as
+// wide as Wilson (exactness costs width).
+func TestClopperPearsonVsWilson(t *testing.T) {
+	f := func(k8 uint8, c8 uint8) bool {
+		n := 40
+		k := int(k8) % (n + 1)
+		c := 0.5 + 0.45*float64(c8)/255
+		cp := ClopperPearson(k, n, c)
+		wl := Wilson(k, n, c)
+		p := float64(k) / float64(n)
+		if p < cp.Lo-1e-9 || p > cp.Hi+1e-9 {
+			return false
+		}
+		return cp.Size() >= wl.Size()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

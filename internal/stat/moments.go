@@ -1,0 +1,82 @@
+package stat
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n), or NaN for
+// empty input. The delta-method machinery works with population moments.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (divide by n−1), or
+// NaN when fewer than two observations are given.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Covariance returns the population covariance of paired samples xs, ys.
+// It returns NaN when the lengths differ or the input is empty.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs))
+}
+
+// BernoulliVar returns the variance p(1−p) of a Bernoulli(p) variable.
+func BernoulliVar(p float64) float64 { return p * (1 - p) }
+
+// BinomialMeanVar returns the mean and variance of a Binomial(n, p) count.
+func BinomialMeanVar(n int, p float64) (mean, variance float64) {
+	nf := float64(n)
+	return nf * p, nf * p * (1 - p)
+}
+
+// Clamp01 restricts x to the closed unit interval.
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
