@@ -16,13 +16,20 @@ import (
 	"crowdassess/internal/sim"
 )
 
-// yAt returns series si's y value at x (NaN-free helper for metrics).
-func yAt(res *eval.Result, si int, x float64) float64 {
+// yAt returns series si's y value at x. A missing grid point is a harness
+// bug (a refactor shifted a grid), not a zero metric, so it fails the
+// benchmark rather than silently reporting 0.
+func yAt(b *testing.B, res *eval.Result, si int, x float64) float64 {
+	b.Helper()
+	if si >= len(res.Series) {
+		b.Fatalf("%s: series %d out of range (%d series)", res.Name, si, len(res.Series))
+	}
 	for _, pt := range res.Series[si].Points {
 		if pt.X > x-1e-9 && pt.X < x+1e-9 {
 			return pt.Y
 		}
 	}
+	b.Fatalf("%s: series %q has no point at x=%v", res.Name, res.Series[si].Label, x)
 	return 0
 }
 
@@ -33,8 +40,8 @@ func BenchmarkFig1(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		newSize = yAt(res, 0, 0.5) // new technique, 3 workers
-		oldSize = yAt(res, 1, 0.5) // old technique, 3 workers
+		newSize = yAt(b, res, 0, 0.5) // new technique, 3 workers
+		oldSize = yAt(b, res, 1, 0.5) // old technique, 3 workers
 	}
 	b.ReportMetric(newSize, "newSize@c0.5")
 	b.ReportMetric(oldSize, "oldSize@c0.5")
@@ -50,7 +57,7 @@ func BenchmarkFig2a(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		acc = yAt(res, 3, 0.8) // 7 workers, 300 tasks
+		acc = yAt(b, res, 3, 0.8) // 7 workers, 300 tasks
 	}
 	b.ReportMetric(acc, "accuracy@c0.8")
 }
@@ -62,7 +69,7 @@ func BenchmarkFig2b(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		size = yAt(res, 2, 0.8) // 7 workers, 300 tasks at density 0.8
+		size = yAt(b, res, 2, 0.8) // 7 workers, 300 tasks at density 0.8
 	}
 	b.ReportMetric(size, "size@d0.8")
 }
@@ -74,8 +81,8 @@ func BenchmarkFig2c(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		uni = yAt(res, 0, 0.5)
-		opt = yAt(res, 1, 0.5)
+		uni = yAt(b, res, 0, 0.5)
+		opt = yAt(b, res, 1, 0.5)
 	}
 	b.ReportMetric(uni, "uniform@c0.5")
 	b.ReportMetric(opt, "optimal@c0.5")
@@ -91,7 +98,7 @@ func BenchmarkFig3(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		acc = yAt(res, 0, 0.8) // Image Comparison
+		acc = yAt(b, res, 0, 0.8) // Image Comparison
 	}
 	b.ReportMetric(acc, "IC-accuracy@c0.8")
 }
@@ -103,7 +110,7 @@ func BenchmarkFig4(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		acc = yAt(res, 1, 0.9) // RTE after pruning, high confidence
+		acc = yAt(b, res, 1, 0.9) // RTE after pruning, high confidence
 	}
 	b.ReportMetric(acc, "RTE-accuracy@c0.9")
 }
@@ -115,7 +122,7 @@ func BenchmarkFig5a(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		acc = yAt(res, 1, 0.8) // arity 2, 1000 tasks
+		acc = yAt(b, res, 1, 0.8) // arity 2, 1000 tasks
 	}
 	b.ReportMetric(acc, "accuracy@c0.8")
 }
@@ -127,8 +134,8 @@ func BenchmarkFig5b(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		a2 = yAt(res, 0, 0.8)
-		a4 = yAt(res, 2, 0.8)
+		a2 = yAt(b, res, 0, 0.8)
+		a4 = yAt(b, res, 2, 0.8)
 	}
 	b.ReportMetric(a2, "arity2-size@d0.8")
 	b.ReportMetric(a4, "arity4-size@d0.8")
@@ -141,9 +148,38 @@ func BenchmarkFig5c(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		acc = yAt(res, 0, 0.9) // MOOC at high confidence
+		acc = yAt(b, res, 0, 0.9) // MOOC at high confidence
 	}
 	b.ReportMetric(acc, "MOOC-accuracy@c0.9")
+}
+
+// BenchmarkFigParallel runs two representative figure sweeps with the
+// replicate fan-out on and off; on a multi-core machine the parallel run
+// should approach a GOMAXPROCS-fold speedup while producing byte-identical
+// series (asserted in internal/eval's TestFiguresParallelMatchesSerial).
+func BenchmarkFigParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		run  func(eval.Params) (*eval.Result, error)
+		reps int
+	}{
+		{"fig2a", eval.Fig2a, 8},
+		{"fig5b", eval.Fig5b, 2},
+	} {
+		for _, parallel := range []bool{false, true} {
+			name := cfg.name + "-serial"
+			if parallel {
+				name = cfg.name + "-parallel"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := cfg.run(eval.Params{Replicates: cfg.reps, Seed: 1, Parallel: parallel}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // --- Ablations (DESIGN.md) ---
@@ -349,19 +385,25 @@ func BenchmarkEvaluateTriple(b *testing.B) {
 
 func BenchmarkEvaluateWorkers(b *testing.B) {
 	for _, m := range []int{7, 21, 51} {
-		b.Run("m"+itoa(m), func(b *testing.B) {
-			src := crowdassess.NewSimSource(2)
-			ds, _, err := crowdassess.BinarySim{Tasks: 300, Workers: m, Density: 0.7}.Generate(src)
-			if err != nil {
-				b.Fatal(err)
+		for _, parallel := range []bool{false, true} {
+			name := "m" + itoa(m)
+			if parallel {
+				name += "-parallel"
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := crowdassess.EvaluateWorkers(ds, crowdassess.Options{Confidence: 0.9}); err != nil {
+			b.Run(name, func(b *testing.B) {
+				src := crowdassess.NewSimSource(2)
+				ds, _, err := crowdassess.BinarySim{Tasks: 300, Workers: m, Density: 0.7}.Generate(src)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := crowdassess.EvaluateWorkers(ds, crowdassess.Options{Confidence: 0.9, Parallel: parallel}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -4,8 +4,15 @@
 // Usage:
 //
 //	crowdbench -experiment fig1 [-replicates 500] [-seed 1] [-format table] [-o out.dat]
-//	crowdbench -experiment all  [-replicates 50]
+//	crowdbench -experiment all  [-replicates 50] [-parallel]
+//	crowdbench -experiment all  -replicates 20 -parallel -benchjson BENCH_1.json
 //	crowdbench -list
+//
+// -parallel fans replicates out over every CPU; the per-replicate seeding
+// and merge order are unchanged, so the output is byte-identical to a
+// serial run. -benchjson additionally records each experiment's wall-clock
+// time as machine-readable JSON, so the performance trajectory of the
+// runners can be tracked across commits.
 //
 // With -experiment all, every figure is regenerated in sequence; output for
 // experiment NAME goes to <out-prefix>NAME.<ext> when -o is given a prefix
@@ -13,17 +20,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
 	"crowdassess/internal/eval"
 	"crowdassess/internal/report"
 )
+
+// benchRecord is one experiment's machine-readable timing, written by
+// -benchjson so the performance trajectory of the runners is recorded
+// across commits.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	Replicates int     `json:"replicates"`
+	Seed       int64   `json:"seed"`
+	Parallel   bool    `json:"parallel"`
+	Failures   int     `json:"failures"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
 
 func main() {
 	var (
@@ -34,6 +56,8 @@ func main() {
 		out        = flag.String("o", "", "output file (or directory prefix with -experiment all); default stdout")
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		quiet      = flag.Bool("quiet", false, "suppress progress messages")
+		parallel   = flag.Bool("parallel", false, "fan replicates out over all CPUs (results are byte-identical to serial)")
+		benchjson  = flag.String("benchjson", "", "also write per-experiment wall-clock timings as JSON to this file (e.g. BENCH_1.json)")
 	)
 	flag.Parse()
 
@@ -54,7 +78,8 @@ func main() {
 	if *experiment == "all" {
 		names = eval.Experiments()
 	}
-	params := eval.Params{Replicates: *replicates, Seed: *seed}
+	params := eval.Params{Replicates: *replicates, Seed: *seed, Parallel: *parallel}
+	var records []benchRecord
 	for _, name := range names {
 		start := time.Now()
 		res, err := eval.Run(name, params)
@@ -62,10 +87,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "crowdbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "crowdbench: %s done in %v (%d degenerate samples skipped)\n",
-				name, time.Since(start).Round(time.Millisecond), res.Failures)
+				name, elapsed.Round(time.Millisecond), res.Failures)
 		}
+		records = append(records, benchRecord{
+			Experiment: name,
+			Seconds:    elapsed.Seconds(),
+			Replicates: *replicates,
+			Seed:       *seed,
+			Parallel:   *parallel,
+			Failures:   res.Failures,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		})
 		w, closeFn, err := openOutput(*out, name, *format, len(names) > 1)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crowdbench: %v\n", err)
@@ -80,6 +115,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *benchjson != "" {
+		if err := writeBenchJSON(*benchjson, records); err != nil {
+			fmt.Fprintf(os.Stderr, "crowdbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeBenchJSON records the timing trajectory for tooling.
+func writeBenchJSON(path string, records []benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // openOutput resolves the output destination: stdout when no -o is given,

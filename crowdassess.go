@@ -117,7 +117,8 @@ type ResponseMatrixEstimate = core.KAryEstimate
 // (j1, j2) is the probability of answering j2 when the truth is j1 — with a
 // confidence interval per entry, plus the prior over true answers. This is
 // the paper's Algorithm A3; it captures per-answer bias that scalar error
-// rates cannot.
+// rates cannot. Set KAryOptions.Parallel to fan the numeric-differentiation
+// inner loop out over all CPUs (results are identical to the serial run).
 func EstimateResponseMatrices(ds *Dataset, workers [3]int, opts KAryOptions) (*ResponseMatrixEstimate, error) {
 	return core.ThreeWorkerKAry(ds, workers, opts)
 }
@@ -175,7 +176,10 @@ type (
 	ExperimentResult = eval.Result
 )
 
-// RunExperiment regenerates a paper figure's data series.
+// RunExperiment regenerates a paper figure's data series. Set
+// ExperimentParams.Parallel to spread replicates over all CPUs; replicate
+// seeding and merge order are unchanged, so the result is byte-identical
+// to a serial run at the same seed.
 func RunExperiment(name string, p ExperimentParams) (*ExperimentResult, error) {
 	return eval.Run(name, p)
 }

@@ -1,0 +1,3 @@
+module crowdassess
+
+go 1.24

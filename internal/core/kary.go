@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/mat"
@@ -25,6 +27,11 @@ type KAryOptions struct {
 	// (ablation #3). Default false: symmetrize, which is principled because
 	// the matrix is symmetric PSD in exact arithmetic (Lemma 7).
 	RawEigen bool
+	// Parallel fans the 2k³ independent central-difference probEstimate
+	// calls out over GOMAXPROCS goroutines. Each perturbed entry is an
+	// independent computation written to a distinct gradient slot, so the
+	// result is byte-identical to the serial run.
+	Parallel bool
 }
 
 // KAryEstimate is the result of Algorithm A3 for an ordered worker triple.
@@ -109,68 +116,33 @@ func ThreeWorkerKAryDelta(ds *crowd.Dataset, workers [3]int, opts KAryOptions) (
 
 	// Step 4: covariances of the k³ all-attempted count entries (Lemma 9).
 	// Restricted to entries with all three workers responding, the counts
-	// are a multinomial over the n₁,₂,₃ tasks attempted by all three.
+	// are a multinomial over the n₁,₂,₃ tasks attempted by all three, so Σ
+	// has the structure n·(diag(p) − p·pᵀ) and never needs materializing:
+	// MultinomialCov evaluates the delta method's quadratic form in O(k³)
+	// instead of the O(k⁶) time and memory of the dense matrix.
 	nAll := counts.AttendanceTotal([3]bool{true, true, true})
 	if nAll <= 0 {
 		return nil, fmt.Errorf("core: no tasks attempted by all three workers: %w", ErrInsufficientData)
 	}
 	nEntries := k * k * k
-	flat := func(j1, j2, j3 int) int { return ((j1-1)*k+(j2-1))*k + (j3 - 1) }
-	cov := mat.New(nEntries, nEntries)
+	flatCounts := make([]float64, nEntries)
 	for j1 := 1; j1 <= k; j1++ {
 		for j2 := 1; j2 <= k; j2++ {
 			for j3 := 1; j3 <= k; j3++ {
-				a := flat(j1, j2, j3)
-				ca := counts.At(j1, j2, j3)
-				for i1 := 1; i1 <= k; i1++ {
-					for i2 := 1; i2 <= k; i2++ {
-						for i3 := 1; i3 <= k; i3++ {
-							b := flat(i1, i2, i3)
-							if b < a {
-								continue
-							}
-							cb := counts.At(i1, i2, i3)
-							var v float64
-							if a == b {
-								v = ca * (nAll - ca) / nAll
-							} else {
-								v = -ca * cb / nAll
-							}
-							cov.Set(a, b, v)
-							cov.Set(b, a, v)
-						}
-					}
-				}
+				flatCounts[((j1-1)*k+(j2-1))*k+(j3-1)] = counts.At(j1, j2, j3)
 			}
 		}
+	}
+	cov, err := NewMultinomialCov(flatCounts, nAll)
+	if err != nil {
+		return nil, err
 	}
 
 	// Steps 5–6: central-difference derivatives of every estimated element
 	// with respect to every all-attempted count entry.
 	grads := [3][]*vGrad{newVGrads(k), newVGrads(k), newVGrads(k)}
-	work := counts.Clone()
-	for j1 := 1; j1 <= k; j1++ {
-		for j2 := 1; j2 <= k; j2++ {
-			for j3 := 1; j3 <= k; j3++ {
-				e := flat(j1, j2, j3)
-				work.Add(j1, j2, j3, eps)
-				plus, errP := probEstimate(work, opts)
-				work.Add(j1, j2, j3, -2*eps)
-				minus, errM := probEstimate(work, opts)
-				work.Add(j1, j2, j3, eps) // restore
-				if errP != nil || errM != nil {
-					return nil, fmt.Errorf("core: perturbed estimate failed: %w", ErrDegenerate)
-				}
-				for w := 0; w < 3; w++ {
-					for a := 0; a < k; a++ {
-						for b := 0; b < k; b++ {
-							d := (plus.v[w].At(a, b) - minus.v[w].At(a, b)) / (2 * eps)
-							grads[w][a*k+b].d[e] = d
-						}
-					}
-				}
-			}
-		}
+	if err := karyGradients(counts, opts, eps, k, grads); err != nil {
+		return nil, err
 	}
 
 	// Step 7: mean and deviation for each V element via Theorem 1, then row
@@ -191,7 +163,7 @@ func ThreeWorkerKAryDelta(ds *crowd.Dataset, workers [3]int, opts KAryOptions) (
 			// Row sum of S^{1/2}P is √s_a; accumulate the selectivity estimate.
 			selAccum[a] += rowSum * rowSum / 3
 			for b := 0; b < k; b++ {
-				de, err := DeltaMethod(base.v[w].At(a, b), grads[w][a*k+b].d, cov)
+				de, err := DeltaMethodCov(base.v[w].At(a, b), grads[w][a*k+b].d, cov)
 				if err != nil {
 					return nil, err
 				}
@@ -211,6 +183,93 @@ func ThreeWorkerKAryDelta(ds *crowd.Dataset, workers [3]int, opts KAryOptions) (
 		}
 	}
 	return out, nil
+}
+
+// karyGradients fills grads with the central-difference derivatives of
+// every V element with respect to every all-attempted count entry: for each
+// of the k³ entries it runs probEstimate on the ±ε perturbed tensor (steps
+// 5–6 of Algorithm A3). The 2k³ estimator calls are independent, so with
+// opts.Parallel they are chunked over GOMAXPROCS goroutines, each owning a
+// private tensor clone; every entry writes only its own gradient slot, so
+// the parallel result is byte-identical to the serial one.
+func karyGradients(counts *crowd.Tensor3, opts KAryOptions, eps float64, k int, grads [3][]*vGrad) error {
+	nEntries := k * k * k
+	entryGrad := func(work *crowd.Tensor3, e int) error {
+		j1 := e/(k*k) + 1
+		j2 := (e/k)%k + 1
+		j3 := e%k + 1
+		// Save/restore the exact value rather than adding and subtracting ε:
+		// (c+ε)−2ε+ε ≠ c in floating point, and the residue would both
+		// pollute later entries' derivatives and make results depend on how
+		// entries are chunked across goroutines.
+		orig := work.At(j1, j2, j3)
+		work.Set(j1, j2, j3, orig+eps)
+		plus, errP := probEstimate(work, opts)
+		work.Set(j1, j2, j3, orig-eps)
+		minus, errM := probEstimate(work, opts)
+		work.Set(j1, j2, j3, orig)
+		if errP != nil || errM != nil {
+			return fmt.Errorf("core: perturbed estimate failed: %w", ErrDegenerate)
+		}
+		for w := 0; w < 3; w++ {
+			for a := 0; a < k; a++ {
+				for b := 0; b < k; b++ {
+					d := (plus.v[w].At(a, b) - minus.v[w].At(a, b)) / (2 * eps)
+					grads[w][a*k+b].d[e] = d
+				}
+			}
+		}
+		return nil
+	}
+
+	workers := 1
+	if opts.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > nEntries {
+			workers = nEntries
+		}
+	}
+	if workers <= 1 {
+		work := counts.Clone()
+		for e := 0; e < nEntries; e++ {
+			if err := entryGrad(work, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (nEntries + workers - 1) / workers
+	for g := 0; g < workers; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > nEntries {
+			hi = nEntries
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			work := counts.Clone()
+			for e := lo; e < hi; e++ {
+				if err := entryGrad(work, e); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // vGrad carries the gradient of one V element over the k³ count entries.

@@ -55,26 +55,25 @@ func DeltaMethod(fAtMean float64, grad []float64, cov *mat.Matrix) (DeltaEstimat
 		return DeltaEstimate{}, fmt.Errorf("core: gradient length %d vs covariance %d×%d: %w",
 			n, cov.Rows(), cov.Cols(), mat.ErrShape)
 	}
-	var variance float64
-	for i := 0; i < n; i++ {
-		di := grad[i]
-		if di == 0 {
-			continue
-		}
-		for j := 0; j < n; j++ {
-			variance += di * grad[j] * cov.At(i, j)
-		}
+	return DeltaMethodCov(fAtMean, grad, DenseCov{cov})
+}
+
+// DeltaMethodCov is DeltaMethod over any CovQuadForm — the same Theorem 1
+// computation, with the covariance abstracted so structured implementations
+// (MultinomialCov in Algorithm A3) can evaluate dᵀΣd without materializing Σ.
+func DeltaMethodCov(fAtMean float64, grad []float64, cov CovQuadForm) (DeltaEstimate, error) {
+	if cov.Dim() != len(grad) {
+		return DeltaEstimate{}, fmt.Errorf("core: gradient length %d vs covariance dimension %d: %w",
+			len(grad), cov.Dim(), mat.ErrShape)
 	}
+	variance := cov.Quad(grad)
 	if math.IsNaN(variance) || math.IsInf(variance, 0) {
 		return DeltaEstimate{}, fmt.Errorf("core: non-finite variance: %w", ErrDegenerate)
 	}
 	if variance < 0 {
 		// Plug-in covariance estimates can dip slightly negative; clamp
 		// small violations, reject gross ones.
-		scale := 0.0
-		for i := 0; i < n; i++ {
-			scale += grad[i] * grad[i] * math.Abs(cov.At(i, i))
-		}
+		scale := cov.DiagAbsQuad(grad)
 		if variance < -1e-9-1e-6*scale {
 			return DeltaEstimate{}, fmt.Errorf("core: negative variance %g: %w", variance, ErrDegenerate)
 		}

@@ -53,7 +53,8 @@ type fullStatsCache struct {
 }
 
 func newFullStatsCache(ds *crowd.Dataset) *fullStatsCache {
-	return &fullStatsCache{pairs: ds.PairMatrix(), att: ds.Attendance()}
+	att := ds.Attendance()
+	return &fullStatsCache{pairs: att.PairMatrix(), att: att}
 }
 
 func (c *fullStatsCache) pair(i, j int) crowd.PairStats { return c.pairs[i][j] }

@@ -17,7 +17,10 @@ func (p PairStats) Rate() float64 {
 	return float64(p.Agree) / float64(p.Common)
 }
 
-// Pair returns the agreement statistics for workers i and j.
+// Pair returns the agreement statistics for workers i and j by scanning
+// the two response rows. One-shot callers use this; anything touching many
+// pairs should build the Attendance index once and use its popcount-based
+// Pair/PairMatrix instead.
 func (d *Dataset) Pair(i, j int) PairStats {
 	var st PairStats
 	ri := d.resp[i*d.numTasks : (i+1)*d.numTasks]
@@ -51,21 +54,11 @@ func (d *Dataset) CommonTriple(i, j, k int) int {
 
 // PairMatrix returns the full m×m table of pairwise statistics. Entry (i,j)
 // equals entry (j,i); the diagonal holds each worker's self-agreement (its
-// Common is the worker's response count and Agree equals Common).
+// Common is the worker's response count and Agree equals Common). It is
+// computed through the Attendance bitset index — word-wise popcounts
+// instead of m²/2 row scans.
 func (d *Dataset) PairMatrix() [][]PairStats {
-	m := d.numWorkers
-	out := make([][]PairStats, m)
-	for i := range out {
-		out[i] = make([]PairStats, m)
-	}
-	for i := 0; i < m; i++ {
-		for j := i; j < m; j++ {
-			st := d.Pair(i, j)
-			out[i][j] = st
-			out[j][i] = st
-		}
-	}
-	return out
+	return d.Attendance().PairMatrix()
 }
 
 // MajorityVote returns, for each task, the plurality response among workers

@@ -1,0 +1,96 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDataset fills a dataset with deterministic pseudo-random responses
+// at the given density.
+func randomDataset(tb testing.TB, workers, tasks, arity int, density float64, seed int64) *Dataset {
+	tb.Helper()
+	d := MustNewDataset(workers, tasks, arity)
+	rng := rand.New(rand.NewSource(seed))
+	for w := 0; w < workers; w++ {
+		for t := 0; t < tasks; t++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			if err := d.SetResponse(w, t, Response(1+rng.Intn(arity))); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return d
+}
+
+// TestAttendancePairMatchesScan cross-checks the popcount-based pair
+// statistics against the reference row scan on random datasets, including
+// task counts straddling the 64-bit word boundary.
+func TestAttendancePairMatchesScan(t *testing.T) {
+	for _, cfg := range []struct {
+		workers, tasks, arity int
+		density               float64
+	}{
+		{3, 10, 2, 1.0},
+		{5, 64, 2, 0.7},
+		{5, 65, 3, 0.5},
+		{8, 200, 4, 0.3},
+		{4, 63, 5, 0.9},
+	} {
+		d := randomDataset(t, cfg.workers, cfg.tasks, cfg.arity, cfg.density, int64(cfg.tasks))
+		att := d.Attendance()
+		for i := 0; i < cfg.workers; i++ {
+			for j := 0; j < cfg.workers; j++ {
+				want := d.Pair(i, j)
+				got := att.Pair(i, j)
+				if got != want {
+					t.Errorf("%d×%d arity %d: Pair(%d,%d) = %+v via bitset, %+v via scan",
+						cfg.workers, cfg.tasks, cfg.arity, i, j, got, want)
+				}
+			}
+		}
+		pm := d.PairMatrix()
+		for i := 0; i < cfg.workers; i++ {
+			for j := 0; j < cfg.workers; j++ {
+				if pm[i][j] != d.Pair(i, j) {
+					t.Errorf("PairMatrix(%d,%d) disagrees with scan", i, j)
+				}
+			}
+		}
+	}
+}
+
+// pairMatrixScan is the pre-bitset reference implementation, kept for the
+// benchmark comparison below.
+func pairMatrixScan(d *Dataset) [][]PairStats {
+	m := d.Workers()
+	out := make([][]PairStats, m)
+	for i := range out {
+		out[i] = make([]PairStats, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			st := d.Pair(i, j)
+			out[i][j] = st
+			out[j][i] = st
+		}
+	}
+	return out
+}
+
+func BenchmarkPairMatrixBitset(b *testing.B) {
+	d := randomDataset(b, 50, 2000, 2, 0.6, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.PairMatrix()
+	}
+}
+
+func BenchmarkPairMatrixScan(b *testing.B) {
+	d := randomDataset(b, 50, 2000, 2, 0.6, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pairMatrixScan(d)
+	}
+}

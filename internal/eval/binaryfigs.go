@@ -20,26 +20,28 @@ func Fig1(p Params) (*Result, error) {
 	confs := Confidences()
 	const tasks = 100
 	for _, m := range []int{3, 7} {
-		// Per confidence level, collected interval sizes across replicates.
-		newSizes := make([][]float64, len(confs))
-		oldSizes := make([][]float64, len(confs))
-		for r := 0; r < p.replicates(); r++ {
-			src := randx.NewSource(p.Seed + int64(r))
+		type rep struct {
+			newSizes [][]float64 // per confidence level
+			oldSizes [][]float64
+			failures int
+		}
+		results, err := runReplicates(p.Parallel, p.Seed, p.replicates(), func(src *randx.Source) (rep, error) {
+			out := rep{newSizes: make([][]float64, len(confs)), oldSizes: make([][]float64, len(confs))}
 			ds, _, err := sim.Binary{Tasks: tasks, Workers: m}.Generate(src)
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			for ci, c := range confs {
 				for _, d := range deltas {
 					if d.Err != nil {
-						res.Failures++
+						out.failures++
 						continue
 					}
-					newSizes[ci] = append(newSizes[ci], d.Est.Interval(c).ClampTo(0, 1).Size())
+					out.newSizes[ci] = append(out.newSizes[ci], d.Est.Interval(c).ClampTo(0, 1).Size())
 				}
 			}
 			// Old technique: one full evaluation per confidence level (its
@@ -47,12 +49,26 @@ func Fig1(p Params) (*Result, error) {
 			for ci, c := range confs {
 				ivs, err := baseline.OldTechnique{Confidence: c}.Evaluate(ds)
 				if err != nil {
-					res.Failures++
+					out.failures++
 					continue
 				}
 				for _, iv := range ivs {
-					oldSizes[ci] = append(oldSizes[ci], iv.Size())
+					out.oldSizes[ci] = append(out.oldSizes[ci], iv.Size())
 				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Merge in replicate order: identical accumulation to the serial run.
+		newSizes := make([][]float64, len(confs))
+		oldSizes := make([][]float64, len(confs))
+		for _, r := range results {
+			res.Failures += r.failures
+			for ci := range confs {
+				newSizes[ci] = append(newSizes[ci], r.newSizes[ci]...)
+				oldSizes[ci] = append(oldSizes[ci], r.oldSizes[ci]...)
 			}
 		}
 		newSeries := Series{Label: seriesLabel("new technique", m, tasks)}
@@ -96,29 +112,44 @@ func Fig2a(p Params) (*Result, error) {
 	}
 	confs := Confidences()
 	for _, cfg := range []struct{ m, n int }{{3, 100}, {3, 300}, {7, 100}, {7, 300}} {
-		hits := make([]int, len(confs))
-		totals := make([]int, len(confs))
-		for r := 0; r < p.replicates(); r++ {
-			src := randx.NewSource(p.Seed + int64(r))
+		type rep struct {
+			hits, totals []int
+			failures     int
+		}
+		results, err := runReplicates(p.Parallel, p.Seed, p.replicates(), func(src *randx.Source) (rep, error) {
+			out := rep{hits: make([]int, len(confs)), totals: make([]int, len(confs))}
 			ds, rates, err := sim.Binary{Tasks: cfg.n, Workers: cfg.m, Density: 0.8}.Generate(src)
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			for _, d := range deltas {
 				if d.Err != nil {
-					res.Failures++
+					out.failures++
 					continue
 				}
 				for ci, c := range confs {
-					totals[ci]++
+					out.totals[ci]++
 					if d.Est.Interval(c).ClampTo(0, 1).Contains(rates[d.Worker]) {
-						hits[ci]++
+						out.hits[ci]++
 					}
 				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits := make([]int, len(confs))
+		totals := make([]int, len(confs))
+		for _, r := range results {
+			res.Failures += r.failures
+			for ci := range confs {
+				hits[ci] += r.hits[ci]
+				totals[ci] += r.totals[ci]
 			}
 		}
 		s := Series{Label: itoa(cfg.m) + " workers " + itoa(cfg.n) + " tasks"}
@@ -148,24 +179,36 @@ func Fig2b(p Params) (*Result, error) {
 	for _, cfg := range []struct{ m, n int }{{3, 300}, {7, 100}, {7, 300}} {
 		s := Series{Label: itoa(cfg.m) + " workers, " + itoa(cfg.n) + " tasks"}
 		for _, d := range densities {
-			var sizes []float64
-			for r := 0; r < p.replicates(); r++ {
-				src := randx.NewSource(p.Seed + int64(r))
+			type rep struct {
+				sizes    []float64
+				failures int
+			}
+			results, err := runReplicates(p.Parallel, p.Seed, p.replicates(), func(src *randx.Source) (rep, error) {
+				var out rep
 				ds, _, err := sim.Binary{Tasks: cfg.n, Workers: cfg.m, Density: d}.Generate(src)
 				if err != nil {
-					return nil, err
+					return rep{}, err
 				}
 				deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
 				if err != nil {
-					return nil, err
+					return rep{}, err
 				}
 				for _, wd := range deltas {
 					if wd.Err != nil {
-						res.Failures++
+						out.failures++
 						continue
 					}
-					sizes = append(sizes, wd.Est.Interval(c).ClampTo(0, 1).Size())
+					out.sizes = append(out.sizes, wd.Est.Interval(c).ClampTo(0, 1).Size())
 				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var sizes []float64
+			for _, r := range results {
+				res.Failures += r.failures
+				sizes = append(sizes, r.sizes...)
 			}
 			s.Points = append(s.Points, Point{X: d, Y: meanOf(sizes)})
 		}
@@ -187,31 +230,47 @@ func Fig2c(p Params) (*Result, error) {
 	confs := Confidences()
 	const m, n = 7, 100
 	densities := sim.Fig2cDensities(m)
-	optSizes := make([][]float64, len(confs))
-	uniSizes := make([][]float64, len(confs))
-	for r := 0; r < p.replicates(); r++ {
-		src := randx.NewSource(p.Seed + int64(r))
+	type rep struct {
+		optSizes [][]float64
+		uniSizes [][]float64
+		failures int
+	}
+	results, err := runReplicates(p.Parallel, p.Seed, p.replicates(), func(src *randx.Source) (rep, error) {
+		out := rep{optSizes: make([][]float64, len(confs)), uniSizes: make([][]float64, len(confs))}
 		ds, _, err := sim.Binary{Tasks: n, Workers: m, Densities: densities}.Generate(src)
 		if err != nil {
-			return nil, err
+			return rep{}, err
 		}
 		opt, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{Weights: core.OptimalWeights})
 		if err != nil {
-			return nil, err
+			return rep{}, err
 		}
 		uni, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{Weights: core.UniformWeights})
 		if err != nil {
-			return nil, err
+			return rep{}, err
 		}
 		for w := range opt {
 			if opt[w].Err != nil || uni[w].Err != nil {
-				res.Failures++
+				out.failures++
 				continue
 			}
 			for ci, c := range confs {
-				optSizes[ci] = append(optSizes[ci], opt[w].Est.Interval(c).ClampTo(0, 1).Size())
-				uniSizes[ci] = append(uniSizes[ci], uni[w].Est.Interval(c).ClampTo(0, 1).Size())
+				out.optSizes[ci] = append(out.optSizes[ci], opt[w].Est.Interval(c).ClampTo(0, 1).Size())
+				out.uniSizes[ci] = append(out.uniSizes[ci], uni[w].Est.Interval(c).ClampTo(0, 1).Size())
 			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	optSizes := make([][]float64, len(confs))
+	uniSizes := make([][]float64, len(confs))
+	for _, r := range results {
+		res.Failures += r.failures
+		for ci := range confs {
+			optSizes[ci] = append(optSizes[ci], r.optSizes[ci]...)
+			uniSizes[ci] = append(uniSizes[ci], r.uniSizes[ci]...)
 		}
 	}
 	with := Series{Label: "With Optimization"}

@@ -27,29 +27,42 @@ func XNoGold(p Params) (*Result, error) {
 	goldSeries := Series{Label: "gold-standard (Wilson)"}
 	ratioSeries := Series{Label: "size ratio"}
 	for _, n := range taskGrid {
-		var agreeSizes, goldSizes []float64
-		for r := 0; r < p.replicates(); r++ {
-			src := randx.NewSource(p.Seed + int64(r))
+		type rep struct {
+			agreeSizes, goldSizes []float64
+			failures              int
+		}
+		results, err := runReplicates(p.Parallel, p.Seed, p.replicates(), func(src *randx.Source) (rep, error) {
+			var out rep
 			ds, _, err := sim.Binary{Tasks: n, Workers: m}.Generate(src)
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			agree, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			gold, err := core.GoldStandardIntervals(ds, c, core.GoldWilson)
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			for w := range agree {
 				if agree[w].Err != nil || gold[w].Err != nil {
-					res.Failures++
+					out.failures++
 					continue
 				}
-				agreeSizes = append(agreeSizes, agree[w].Est.Interval(c).ClampTo(0, 1).Size())
-				goldSizes = append(goldSizes, gold[w].Interval.Size())
+				out.agreeSizes = append(out.agreeSizes, agree[w].Est.Interval(c).ClampTo(0, 1).Size())
+				out.goldSizes = append(out.goldSizes, gold[w].Interval.Size())
 			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var agreeSizes, goldSizes []float64
+		for _, r := range results {
+			res.Failures += r.failures
+			agreeSizes = append(agreeSizes, r.agreeSizes...)
+			goldSizes = append(goldSizes, r.goldSizes...)
 		}
 		a, g := meanOf(agreeSizes), meanOf(goldSizes)
 		agreeSeries.Points = append(agreeSeries.Points, Point{X: float64(n), Y: a})
@@ -88,34 +101,49 @@ func XMinCommon(p Params) (*Result, error) {
 	evalSeries := Series{Label: "workers evaluable"}
 	tripleSeries := Series{Label: "mean triples per worker (/10)"}
 	for _, mc := range grid {
-		hits, totals := 0, 0
-		evaluable, workers, triples := 0, 0, 0
-		for r := 0; r < reps; r++ {
-			src := randx.NewSource(p.Seed + int64(r))
+		type rep struct {
+			hits, totals                int
+			evaluable, workers, triples int
+		}
+		results, err := runReplicates(p.Parallel, p.Seed, reps, func(src *randx.Source) (rep, error) {
+			var out rep
 			ds, err := sim.EmulateRTE(src)
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{MinCommon: mc})
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			for _, d := range deltas {
-				workers++
+				out.workers++
 				if d.Err != nil {
 					continue
 				}
-				evaluable++
-				triples += d.Triples
+				out.evaluable++
+				out.triples += d.Triples
 				rate, err := ds.TrueErrorRate(d.Worker)
 				if err != nil {
 					continue
 				}
-				totals++
+				out.totals++
 				if d.Est.Interval(c).ClampTo(0, 1).Contains(rate) {
-					hits++
+					out.hits++
 				}
 			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits, totals := 0, 0
+		evaluable, workers, triples := 0, 0, 0
+		for _, r := range results {
+			hits += r.hits
+			totals += r.totals
+			evaluable += r.evaluable
+			workers += r.workers
+			triples += r.triples
 		}
 		acc := 0.0
 		if totals > 0 {

@@ -20,35 +20,50 @@ func Fig5a(p Params) (*Result, error) {
 	confs := Confidences()
 	for _, k := range []int{2, 3, 4} {
 		for _, n := range []int{100, 1000} {
-			hits := make([]int, len(confs))
-			totals := make([]int, len(confs))
-			for r := 0; r < p.replicates(); r++ {
-				src := randx.NewSource(p.Seed + int64(r))
+			type rep struct {
+				hits, totals []int
+				failures     int
+			}
+			results, err := runReplicates(p.Parallel, p.Seed, p.replicates(), func(src *randx.Source) (rep, error) {
+				out := rep{hits: make([]int, len(confs)), totals: make([]int, len(confs))}
 				ds, workerConfs, err := sim.KAry{
 					Tasks:            n,
 					Workers:          3,
 					ConfusionChoices: sim.PaperMatrices(k),
 				}.Generate(src)
 				if err != nil {
-					return nil, err
+					return rep{}, err
 				}
-				delta, err := core.ThreeWorkerKAryDelta(ds, [3]int{0, 1, 2}, core.KAryOptions{})
+				delta, err := core.ThreeWorkerKAryDelta(ds, [3]int{0, 1, 2}, core.KAryOptions{Parallel: innerParallel(p.Parallel, p.replicates())})
 				if err != nil {
-					res.Failures++
-					continue
+					out.failures++
+					return out, nil
 				}
 				for ci, c := range confs {
 					est := delta.Intervals(c)
 					for w := 0; w < 3; w++ {
 						for a := 0; a < k; a++ {
 							for b := 0; b < k; b++ {
-								totals[ci]++
+								out.totals[ci]++
 								if est.Intervals[w][a][b].Contains(workerConfs[w][a][b]) {
-									hits[ci]++
+									out.hits[ci]++
 								}
 							}
 						}
 					}
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			hits := make([]int, len(confs))
+			totals := make([]int, len(confs))
+			for _, r := range results {
+				res.Failures += r.failures
+				for ci := range confs {
+					hits[ci] += r.hits[ci]
+					totals[ci] += r.totals[ci]
 				}
 			}
 			s := Series{Label: "arity " + itoa(k) + ", " + itoa(n) + " tasks"}
@@ -79,9 +94,12 @@ func Fig5b(p Params) (*Result, error) {
 	for _, k := range []int{2, 3, 4} {
 		s := Series{Label: "Arity " + itoa(k)}
 		for _, d := range Densities() {
-			var sizes []float64
-			for r := 0; r < p.replicates(); r++ {
-				src := randx.NewSource(p.Seed + int64(r))
+			type rep struct {
+				sizes    []float64
+				failures int
+			}
+			results, err := runReplicates(p.Parallel, p.Seed, p.replicates(), func(src *randx.Source) (rep, error) {
+				var out rep
 				ds, _, err := sim.KAry{
 					Tasks:            n,
 					Workers:          3,
@@ -89,21 +107,30 @@ func Fig5b(p Params) (*Result, error) {
 					Density:          d,
 				}.Generate(src)
 				if err != nil {
-					return nil, err
+					return rep{}, err
 				}
-				delta, err := core.ThreeWorkerKAryDelta(ds, [3]int{0, 1, 2}, core.KAryOptions{})
+				delta, err := core.ThreeWorkerKAryDelta(ds, [3]int{0, 1, 2}, core.KAryOptions{Parallel: innerParallel(p.Parallel, p.replicates())})
 				if err != nil {
-					res.Failures++
-					continue
+					out.failures++
+					return out, nil
 				}
 				est := delta.Intervals(c)
 				for w := 0; w < 3; w++ {
 					for a := 0; a < k; a++ {
 						for b := 0; b < k; b++ {
-							sizes = append(sizes, est.Intervals[w][a][b].Size())
+							out.sizes = append(out.sizes, est.Intervals[w][a][b].Size())
 						}
 					}
 				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var sizes []float64
+			for _, r := range results {
+				res.Failures += r.failures
+				sizes = append(sizes, r.sizes...)
 			}
 			s.Points = append(s.Points, Point{X: d, Y: meanOf(sizes)})
 		}
@@ -140,13 +167,15 @@ func Fig5c(p Params) (*Result, error) {
 		reps = 5
 	}
 	for _, cs := range cases {
-		hits := make([]int, len(confs))
-		totals := make([]int, len(confs))
-		for r := 0; r < reps; r++ {
-			src := randx.NewSource(p.Seed + int64(r))
+		type rep struct {
+			hits, totals []int
+			failures     int
+		}
+		results, err := runReplicates(p.Parallel, p.Seed, reps, func(src *randx.Source) (rep, error) {
+			out := rep{hits: make([]int, len(confs)), totals: make([]int, len(confs))}
 			ds, err := cs.gen(src)
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			triples := eligibleTriples(ds, cs.threshold)
 			src.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
@@ -155,9 +184,9 @@ func Fig5c(p Params) (*Result, error) {
 			}
 			k := ds.Arity()
 			for _, tr := range triples {
-				delta, err := core.ThreeWorkerKAryDelta(ds, tr, core.KAryOptions{})
+				delta, err := core.ThreeWorkerKAryDelta(ds, tr, core.KAryOptions{Parallel: innerParallel(p.Parallel, reps)})
 				if err != nil {
-					res.Failures++
+					out.failures++
 					continue
 				}
 				// Gold-derived proxy for each worker's true response matrix.
@@ -174,7 +203,7 @@ func Fig5c(p Params) (*Result, error) {
 					proxyRows[w] = hasRow
 				}
 				if !usable {
-					res.Failures++
+					out.failures++
 					continue
 				}
 				for ci, c := range confs {
@@ -185,14 +214,27 @@ func Fig5c(p Params) (*Result, error) {
 								continue // no gold observation for this row
 							}
 							for b := 0; b < k; b++ {
-								totals[ci]++
+								out.totals[ci]++
 								if est.Intervals[w][a][b].Contains(proxies[w][a][b]) {
-									hits[ci]++
+									out.hits[ci]++
 								}
 							}
 						}
 					}
 				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits := make([]int, len(confs))
+		totals := make([]int, len(confs))
+		for _, r := range results {
+			res.Failures += r.failures
+			for ci := range confs {
+				hits[ci] += r.hits[ci]
+				totals[ci] += r.totals[ci]
 			}
 		}
 		s := Series{Label: cs.label}

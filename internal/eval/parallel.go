@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"crowdassess/internal/randx"
+)
+
+// innerParallel decides whether a parallel run should also fan out the
+// estimator loops inside each replicate. When the replicate count alone
+// saturates every CPU, nested fan-out only adds scheduler contention and
+// per-goroutine scratch clones; the inner level pays off when replicates
+// are too few to fill the machine. Either way results are byte-identical,
+// so this is purely a scheduling decision.
+func innerParallel(parallel bool, reps int) bool {
+	return parallel && reps < runtime.GOMAXPROCS(0)
+}
+
+// runReplicates is the deterministic fan-out engine behind every figure
+// runner. It executes body once per replicate r ∈ [0, reps), each with its
+// own random source seeded seed+r — exactly the seeding the serial loops
+// used — and returns the per-replicate results indexed by r.
+//
+// With parallel=false the replicates run in order on the calling goroutine.
+// With parallel=true they are spread across up to GOMAXPROCS goroutines;
+// because every replicate owns its source and writes only its own result
+// slot, and because callers merge the returned slice in replicate order,
+// the parallel output is byte-identical to the serial one.
+//
+// When any replicate fails, the error of the lowest-numbered failing
+// replicate is returned (the one the serial loop would have surfaced).
+func runReplicates[T any](parallel bool, seed int64, reps int, body func(src *randx.Source) (T, error)) ([]T, error) {
+	out := make([]T, reps)
+	if !parallel || reps <= 1 {
+		for r := 0; r < reps; r++ {
+			v, err := body(randx.NewSource(seed + int64(r)))
+			if err != nil {
+				return nil, err
+			}
+			out[r] = v
+		}
+		return out, nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > reps {
+		workers = reps
+	}
+	errs := make([]error, reps)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	// Once any replicate fails the run's result is discarded, so later
+	// replicates are skipped rather than computed. Replicates are handed
+	// out in index order, so everything below a failing index is already
+	// in flight when its failure lands; the lowest recorded error — the
+	// one the serial loop would have surfaced — is therefore unaffected.
+	var failed atomic.Bool
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				if failed.Load() {
+					continue
+				}
+				out[r], errs[r] = body(randx.NewSource(seed + int64(r)))
+				if errs[r] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

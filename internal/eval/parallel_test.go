@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"crowdassess/internal/randx"
+)
+
+// TestRunReplicatesOrderAndSeeds checks the engine's two contracts: result
+// r comes from the source seeded seed+r, and the slice is in replicate
+// order — under both the serial and the parallel scheduler.
+func TestRunReplicatesOrderAndSeeds(t *testing.T) {
+	const seed, reps = 17, 23
+	want := make([]float64, reps)
+	for r := 0; r < reps; r++ {
+		want[r] = randx.NewSource(seed + int64(r)).Float64()
+	}
+	for _, parallel := range []bool{false, true} {
+		got, err := runReplicates(parallel, seed, reps, func(src *randx.Source) (float64, error) {
+			return src.Float64(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallel=%v: results out of order or misseeded", parallel)
+		}
+	}
+}
+
+// TestRunReplicatesFirstError checks that the error surfaced is the one of
+// the lowest-numbered failing replicate — what the serial loop would
+// return — regardless of scheduling.
+func TestRunReplicatesFirstError(t *testing.T) {
+	// Replicates 4 and 7 fail; 4 must win under either scheduler.
+	failAt := map[int]bool{4: true, 7: true}
+	for _, parallel := range []bool{false, true} {
+		_, err := runReplicates(parallel, 100, 10, func(src *randx.Source) (int, error) {
+			// Identify the replicate by matching its seed draw.
+			v := src.Float64()
+			for r := 0; r < 10; r++ {
+				if randx.NewSource(100+int64(r)).Float64() == v {
+					if failAt[r] {
+						return 0, fmt.Errorf("replicate %d failed", r)
+					}
+					return r, nil
+				}
+			}
+			return -1, nil
+		})
+		if err == nil {
+			t.Fatalf("parallel=%v: expected an error", parallel)
+		}
+		if err.Error() != "replicate 4 failed" {
+			t.Errorf("parallel=%v: got %q, want the lowest failing replicate", parallel, err)
+		}
+	}
+}
+
+// TestFiguresParallelMatchesSerial is the acceptance test for the parallel
+// evaluation engine: every experiment runner must produce exactly the same
+// Result — series, points, failure counts — with Parallel on and off at
+// the same seed. reflect.DeepEqual compares float64s bitwise, so this
+// catches any accumulation-order or map-order divergence.
+func TestFiguresParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure sweep in -short mode")
+	}
+	for _, name := range Experiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := Params{Replicates: 2, Seed: 33}
+			serial, err := Run(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Parallel = true
+			parallel, err := Run(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("%s: parallel result differs from serial", name)
+			}
+		})
+	}
+}

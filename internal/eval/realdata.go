@@ -37,29 +37,31 @@ func realBinaryAccuracy(p Params, name, title string, prune bool) (*Result, erro
 		reps = 20
 	}
 	for _, cs := range cases {
-		hits := make([]int, len(confs))
-		totals := make([]int, len(confs))
-		for r := 0; r < reps; r++ {
-			src := randx.NewSource(p.Seed + int64(r))
+		type rep struct {
+			hits, totals []int
+			failures     int
+		}
+		results, err := runReplicates(p.Parallel, p.Seed, reps, func(src *randx.Source) (rep, error) {
+			out := rep{hits: make([]int, len(confs)), totals: make([]int, len(confs))}
 			ds, err := cs.gen(src)
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			if prune {
 				pruned, _, err := core.PruneSpammers(ds, core.DefaultPruneThreshold)
 				if err != nil {
-					res.Failures++
-					continue
+					out.failures++
+					return out, nil
 				}
 				ds = pruned
 			}
 			deltas, err := core.EvaluateWorkersDelta(ds, core.EvalOptions{})
 			if err != nil {
-				return nil, err
+				return rep{}, err
 			}
 			for _, d := range deltas {
 				if d.Err != nil {
-					res.Failures++
+					out.failures++
 					continue
 				}
 				trueRate, err := ds.TrueErrorRate(d.Worker)
@@ -67,11 +69,24 @@ func realBinaryAccuracy(p Params, name, title string, prune bool) (*Result, erro
 					continue // worker answered no gold-labelled tasks
 				}
 				for ci, c := range confs {
-					totals[ci]++
+					out.totals[ci]++
 					if d.Est.Interval(c).ClampTo(0, 1).Contains(trueRate) {
-						hits[ci]++
+						out.hits[ci]++
 					}
 				}
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		hits := make([]int, len(confs))
+		totals := make([]int, len(confs))
+		for _, r := range results {
+			res.Failures += r.failures
+			for ci := range confs {
+				hits[ci] += r.hits[ci]
+				totals[ci] += r.totals[ci]
 			}
 		}
 		s := Series{Label: cs.label}

@@ -33,6 +33,11 @@ type Params struct {
 	Replicates int
 	// Seed anchors the deterministic replicate seeds.
 	Seed int64
+	// Parallel fans replicates out over GOMAXPROCS goroutines. Replicate
+	// seeds and merge order are unchanged, so results are byte-identical
+	// to a serial run at the same seed; the A3 central-difference loops
+	// inside k-ary replicates inherit the flag too.
+	Parallel bool
 }
 
 func (p Params) replicates() int {

@@ -51,20 +51,39 @@ func (m *Matrix) Inverse() (*Matrix, error) {
 	return inv, nil
 }
 
-// Solve returns x such that m·x = b, using LU factorization with partial
-// pivoting. It returns ErrSingular for rank-deficient m.
-func (m *Matrix) Solve(b []float64) ([]float64, error) {
+// LU is a reusable LU factorization with partial pivoting: factor once,
+// solve many right-hand sides in O(n²) each. Iterative callers (inverse
+// iteration in the A3 spectral path) previously refactored the same matrix
+// on every solve; LU removes that O(n³) per-solve cost and its clones.
+type LU struct {
+	lu   *Matrix
+	perm []int
+	y    []float64 // forward-substitution scratch
+}
+
+// LUFactor returns the LU factorization of m with partial pivoting.
+// It returns ErrSingular when a pivot falls below tolerance.
+func (m *Matrix) LUFactor() (*LU, error) {
 	if m.rows != m.cols {
 		return nil, ErrShape
 	}
-	if len(b) != m.rows {
-		return nil, ErrShape
-	}
 	n := m.rows
-	lu := m.Clone()
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
+	f := &LU{lu: m.Clone(), perm: make([]int, n), y: make([]float64, n)}
+	return f, f.refactor()
+}
+
+// Refactor recomputes the factorization from src in place, reusing the
+// existing storage. Shapes must match the original factorization.
+func (f *LU) Refactor(src *Matrix) error {
+	f.lu.CopyFrom(src)
+	return f.refactor()
+}
+
+func (f *LU) refactor() error {
+	lu := f.lu
+	n := lu.rows
+	for i := range f.perm {
+		f.perm[i] = i
 	}
 	for col := 0; col < n; col++ {
 		pivot := col
@@ -75,29 +94,38 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 			}
 		}
 		if best < 1e-13 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		lu.SwapRows(col, pivot)
-		perm[col], perm[pivot] = perm[pivot], perm[col]
+		f.perm[col], f.perm[pivot] = f.perm[pivot], f.perm[col]
 		p := lu.At(col, col)
 		for r := col + 1; r < n; r++ {
-			f := lu.At(r, col) / p
-			lu.Set(r, col, f)
+			fr := lu.At(r, col) / p
+			lu.Set(r, col, fr)
 			for j := col + 1; j < n; j++ {
-				lu.Add(r, j, -f*lu.At(col, j))
+				lu.Add(r, j, -fr*lu.At(col, j))
 			}
 		}
 	}
+	return nil
+}
+
+// SolveInto writes the solution of (LU)·x = b into x, which must not alias
+// b. Both must have the factored dimension.
+func (f *LU) SolveInto(b, x []float64) {
+	lu, n := f.lu, f.lu.rows
+	if len(b) != n || len(x) != n {
+		panic(ErrShape)
+	}
 	// Forward substitution on the permuted right-hand side.
-	y := make([]float64, n)
+	y := f.y
 	for i := 0; i < n; i++ {
-		y[i] = b[perm[i]]
+		y[i] = b[f.perm[i]]
 		for j := 0; j < i; j++ {
 			y[i] -= lu.At(i, j) * y[j]
 		}
 	}
 	// Back substitution.
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		x[i] = y[i]
 		for j := i + 1; j < n; j++ {
@@ -105,7 +133,30 @@ func (m *Matrix) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] /= lu.At(i, i)
 	}
-	return x, nil
+}
+
+// Solve returns the solution of (LU)·x = b.
+func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, len(b))
+	f.SolveInto(b, x)
+	return x
+}
+
+// Solve returns x such that m·x = b, using LU factorization with partial
+// pivoting. It returns ErrSingular for rank-deficient m. One-shot callers
+// use this; iterative callers factor once with LUFactor and reuse it.
+func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	if m.rows != m.cols {
+		return nil, ErrShape
+	}
+	if len(b) != m.rows {
+		return nil, ErrShape
+	}
+	f, err := m.LUFactor()
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
 }
 
 // Det returns the determinant of m via LU factorization.

@@ -34,6 +34,9 @@ func (m *Matrix) QR() (q, r *Matrix) {
 	n := m.rows
 	r = m.Clone()
 	q = Identity(n)
+	// One Householder scratch vector for all columns: each iteration writes
+	// every entry of v[col:] before reading it, and never touches v[:col].
+	v := make([]float64, n)
 	for col := 0; col < n-1; col++ {
 		// Householder vector for column col below the diagonal.
 		var norm float64
@@ -48,13 +51,12 @@ func (m *Matrix) QR() (q, r *Matrix) {
 		if r.At(col, col) < 0 {
 			alpha = norm
 		}
-		v := make([]float64, n)
 		v[col] = r.At(col, col) - alpha
 		for i := col + 1; i < n; i++ {
 			v[i] = r.At(i, col)
 		}
 		var vv float64
-		for _, x := range v {
+		for _, x := range v[col:] {
 			vv += x * x
 		}
 		if vv == 0 {
@@ -94,6 +96,9 @@ func (m *Matrix) Hessenberg() *Matrix {
 	}
 	n := m.rows
 	h := m.Clone()
+	// Shared Householder scratch, as in QR: the window v[col+1:] is fully
+	// rewritten each iteration and nothing below it is read.
+	v := make([]float64, n)
 	for col := 0; col < n-2; col++ {
 		var norm float64
 		for i := col + 1; i < n; i++ {
@@ -107,13 +112,12 @@ func (m *Matrix) Hessenberg() *Matrix {
 		if h.At(col+1, col) < 0 {
 			alpha = norm
 		}
-		v := make([]float64, n)
 		v[col+1] = h.At(col+1, col) - alpha
 		for i := col + 2; i < n; i++ {
 			v[i] = h.At(i, col)
 		}
 		var vv float64
-		for _, x := range v {
+		for _, x := range v[col+1:] {
 			vv += x * x
 		}
 		if vv == 0 {
@@ -319,8 +323,10 @@ func (m *Matrix) EigenDecompose() (*Eigen, error) {
 	if scale == 0 {
 		scale = 1
 	}
+	// One shifted-matrix scratch shared across all n inverse iterations.
+	shifted := New(n, n)
 	for j, lambda := range vals {
-		v, err := inverseIteration(m, lambda, scale)
+		v, err := inverseIteration(m, shifted, lambda, scale)
 		if err != nil {
 			return nil, err
 		}
@@ -334,46 +340,53 @@ func (m *Matrix) EigenDecompose() (*Eigen, error) {
 // inverseIteration finds a unit eigenvector for the eigenvalue lambda of m by
 // repeatedly solving (m − (λ+ε)I)x = b. The perturbation ε keeps the system
 // nonsingular; a handful of iterations suffices for well-separated spectra.
-func inverseIteration(m *Matrix, lambda, scale float64) ([]float64, error) {
+// The shifted system is factored once and the factorization reused for every
+// iterate (the matrix never changes between solves); shifted is caller-owned
+// scratch of m's shape.
+func inverseIteration(m, shifted *Matrix, lambda, scale float64) ([]float64, error) {
 	n := m.rows
 	eps := 1e-9 * scale
-	shifted := m.Clone()
-	for i := 0; i < n; i++ {
-		shifted.Add(i, i, -(lambda + eps))
+	var f *LU
+	for tries := 0; ; tries++ {
+		shifted.CopyFrom(m)
+		for i := 0; i < n; i++ {
+			shifted.Add(i, i, -(lambda + eps))
+		}
+		var err error
+		if f == nil {
+			f, err = shifted.LUFactor()
+		} else {
+			err = f.Refactor(shifted)
+		}
+		if err == nil {
+			break
+		}
+		if tries >= 12 {
+			// The shift cannot be made nonsingular within a sane range.
+			return nil, err
+		}
+		// Exactly singular: nudge the perturbation and retry.
+		eps *= 10
 	}
 	// Deterministic start vector with all components populated.
 	x := make([]float64, n)
+	y := make([]float64, n)
 	for i := range x {
 		x[i] = 1 / math.Sqrt(float64(n)) * (1 + 0.01*float64(i))
 	}
 	normalize(x)
-	var lastErr error
 	for iter := 0; iter < 50; iter++ {
-		y, err := shifted.Solve(x)
-		if err != nil {
-			// Exactly singular: nudge the perturbation and retry.
-			eps *= 10
-			shifted = m.Clone()
-			for i := 0; i < n; i++ {
-				shifted.Add(i, i, -(lambda + eps))
-			}
-			lastErr = err
-			continue
-		}
+		f.SolveInto(x, y)
 		normalize(y)
 		// Converged when the direction stabilizes (up to sign).
 		var dot float64
 		for i := range y {
 			dot += y[i] * x[i]
 		}
-		x = y
+		x, y = y, x
 		if math.Abs(math.Abs(dot)-1) < 1e-12 {
 			return x, nil
 		}
-		lastErr = nil
-	}
-	if lastErr != nil {
-		return nil, lastErr
 	}
 	return x, nil
 }

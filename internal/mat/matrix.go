@@ -109,6 +109,16 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// CopyFrom overwrites m's elements with o's, reusing m's storage — the
+// allocation-free alternative to Clone for scratch matrices in iterative
+// code. It panics unless the shapes match.
+func (m *Matrix) CopyFrom(o *Matrix) {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(ErrShape)
+	}
+	copy(m.data, o.data)
+}
+
 // Row returns a copy of row i.
 func (m *Matrix) Row(i int) []float64 {
 	out := make([]float64, m.cols)
