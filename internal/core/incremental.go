@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"crowdassess/internal/crowd"
+	"crowdassess/internal/mat"
 )
 
 // Incremental maintains the sufficient statistics of Algorithm A2 online,
@@ -31,6 +33,13 @@ type Incremental struct {
 	// agree/common are symmetric pairwise counters.
 	agree  [][]int
 	common [][]int
+
+	// wsPool recycles covariance-solve scratch across Evaluate calls.
+	// Evaluate only reads the accumulated statistics, so — as before this
+	// pool existed — concurrent Evaluate calls are safe (each checks out
+	// its own workspace); Add remains single-goroutine (it mutates
+	// unguarded counters).
+	wsPool sync.Pool
 }
 
 type workerResponse struct {
@@ -84,6 +93,7 @@ func NewIncremental(workers int) (*Incremental, error) {
 		responded:     make([]dynBitset, workers),
 		agree:         make([][]int, workers),
 		common:        make([][]int, workers),
+		wsPool:        sync.Pool{New: func() any { return mat.NewWorkspace() }},
 	}
 	for i := range inc.agree {
 		inc.agree[i] = make([]int, workers)
@@ -169,7 +179,9 @@ func (inc *Incremental) Evaluate(worker int, opts EvalOptions) (WorkerEstimate, 
 	if minCommon <= 0 {
 		minCommon = 1
 	}
-	d := evaluateOne(inc, inc.workers, worker, opts, minCommon)
+	ws := inc.wsPool.Get().(*mat.Workspace)
+	d := evaluateOne(inc, inc.workers, worker, opts, minCommon, ws)
+	inc.wsPool.Put(ws)
 	est := WorkerEstimate{Worker: d.Worker, Triples: d.Triples, Err: d.Err}
 	if d.Err == nil {
 		est.Interval = d.Est.Interval(opts.Confidence).ClampTo(0, 1)

@@ -108,8 +108,11 @@ func ThreeWorkerKAryDelta(ds *crowd.Dataset, workers [3]int, opts KAryOptions) (
 	k := ds.Arity()
 	counts := ds.CountsTensor(workers[0], workers[1], workers[2])
 
-	// Step 3 of Algorithm A3: the point estimate.
-	base, err := probEstimate(counts, opts)
+	// Step 3 of Algorithm A3: the point estimate. base's matrices live in
+	// baseWS, which must stay un-reset while base.v is read below; the
+	// gradient loop threads separate per-goroutine workspaces.
+	baseWS := mat.NewWorkspace()
+	base, err := probEstimate(counts, opts, baseWS)
 	if err != nil {
 		return nil, err
 	}
@@ -190,11 +193,14 @@ func ThreeWorkerKAryDelta(ds *crowd.Dataset, workers [3]int, opts KAryOptions) (
 // of the k³ entries it runs probEstimate on the ±ε perturbed tensor (steps
 // 5–6 of Algorithm A3). The 2k³ estimator calls are independent, so with
 // opts.Parallel they are chunked over GOMAXPROCS goroutines, each owning a
-// private tensor clone; every entry writes only its own gradient slot, so
-// the parallel result is byte-identical to the serial one.
+// private tensor clone and a private mat.Workspace; every entry writes only
+// its own gradient slot, so the parallel result is byte-identical to the
+// serial one. The workspace is reset once per entry and serves both the +ε
+// and −ε estimates, so the whole loop runs allocation-free after the first
+// entry warms the pools.
 func karyGradients(counts *crowd.Tensor3, opts KAryOptions, eps float64, k int, grads [3][]*vGrad) error {
 	nEntries := k * k * k
-	entryGrad := func(work *crowd.Tensor3, e int) error {
+	entryGrad := func(work *crowd.Tensor3, ws *mat.Workspace, e int) error {
 		j1 := e/(k*k) + 1
 		j2 := (e/k)%k + 1
 		j3 := e%k + 1
@@ -202,19 +208,26 @@ func karyGradients(counts *crowd.Tensor3, opts KAryOptions, eps float64, k int, 
 		// (c+ε)−2ε+ε ≠ c in floating point, and the residue would both
 		// pollute later entries' derivatives and make results depend on how
 		// entries are chunked across goroutines.
+		//
+		// One Reset covers both estimates: plus's matrices must stay valid
+		// while minus is computed, so the workspace is only rewound between
+		// entries, never between the two perturbed calls.
+		ws.Reset()
 		orig := work.At(j1, j2, j3)
 		work.Set(j1, j2, j3, orig+eps)
-		plus, errP := probEstimate(work, opts)
+		plus, errP := probEstimate(work, opts, ws)
 		work.Set(j1, j2, j3, orig-eps)
-		minus, errM := probEstimate(work, opts)
+		minus, errM := probEstimate(work, opts, ws)
 		work.Set(j1, j2, j3, orig)
 		if errP != nil || errM != nil {
 			return fmt.Errorf("core: perturbed estimate failed: %w", ErrDegenerate)
 		}
 		for w := 0; w < 3; w++ {
 			for a := 0; a < k; a++ {
+				plusRow := plus.v[w].RowView(a)
+				minusRow := minus.v[w].RowView(a)
 				for b := 0; b < k; b++ {
-					d := (plus.v[w].At(a, b) - minus.v[w].At(a, b)) / (2 * eps)
+					d := (plusRow[b] - minusRow[b]) / (2 * eps)
 					grads[w][a*k+b].d[e] = d
 				}
 			}
@@ -231,8 +244,9 @@ func karyGradients(counts *crowd.Tensor3, opts KAryOptions, eps float64, k int, 
 	}
 	if workers <= 1 {
 		work := counts.Clone()
+		ws := mat.NewWorkspace()
 		for e := 0; e < nEntries; e++ {
-			if err := entryGrad(work, e); err != nil {
+			if err := entryGrad(work, ws, e); err != nil {
 				return err
 			}
 		}
@@ -255,8 +269,9 @@ func karyGradients(counts *crowd.Tensor3, opts KAryOptions, eps float64, k int, 
 		go func(g, lo, hi int) {
 			defer wg.Done()
 			work := counts.Clone()
+			ws := mat.NewWorkspace()
 			for e := lo; e < hi; e++ {
-				if err := entryGrad(work, e); err != nil {
+				if err := entryGrad(work, ws, e); err != nil {
 					errs[g] = err
 					return
 				}
@@ -292,7 +307,13 @@ type vEstimates struct {
 // counts tensor it recovers estimates of V_i = S^{1/2}_D·P_i for the three
 // workers using the spectral decomposition of pairwise response-frequency
 // matrices (Lemmas 6–8).
-func probEstimate(counts *crowd.Tensor3, opts KAryOptions) (*vEstimates, error) {
+//
+// Every temporary — and the returned matrices — comes from ws, so a warmed
+// workspace makes the call allocation-free in steady state. The caller owns
+// the Reset discipline: results are valid until ws is next reset, and
+// probEstimate itself never rewinds the workspace (the gradient loop needs
+// the +ε and −ε results alive simultaneously).
+func probEstimate(counts *crowd.Tensor3, opts KAryOptions, ws *mat.Workspace) (vEstimates, error) {
 	k := counts.Arity()
 
 	// Step 1: attendance totals.
@@ -301,15 +322,18 @@ func probEstimate(counts *crowd.Tensor3, opts KAryOptions) (*vEstimates, error) 
 	n23 := counts.AttendanceTotal([3]bool{false, true, true})
 	n31 := counts.AttendanceTotal([3]bool{true, false, true})
 	if nAll <= 0 {
-		return nil, fmt.Errorf("core: no tasks attempted by all three workers: %w", ErrInsufficientData)
+		return vEstimates{}, fmt.Errorf("core: no tasks attempted by all three workers: %w", ErrInsufficientData)
 	}
 
 	// Step 2: response-frequency matrices.
-	r12 := mat.New(k, k)
-	r23 := mat.New(k, k)
-	r31 := mat.New(k, k)
+	r12 := ws.Get(k, k)
+	r23 := ws.Get(k, k)
+	r31 := ws.Get(k, k)
 	den12, den23, den31 := nAll+n12, nAll+n23, nAll+n31
 	for a := 1; a <= k; a++ {
+		row12 := r12.RowView(a - 1)
+		row23 := r23.RowView(a - 1)
+		row31 := r31.RowView(a - 1)
 		for b := 1; b <= k; b++ {
 			var s12, s23, s31 float64
 			for K := 0; K <= k; K++ {
@@ -317,89 +341,103 @@ func probEstimate(counts *crowd.Tensor3, opts KAryOptions) (*vEstimates, error) 
 				s23 += counts.At(K, a, b)
 				s31 += counts.At(b, K, a)
 			}
-			r12.Set(a-1, b-1, s12/den12)
-			r23.Set(a-1, b-1, s23/den23)
-			r31.Set(a-1, b-1, s31/den31)
+			row12[b-1] = s12 / den12
+			row23[b-1] = s23 / den23
+			row31[b-1] = s31 / den31
 		}
 	}
-	r13 := r31.T()
-	r32 := r23.T()
+	r13 := ws.Get(k, k)
+	mat.TTo(r13, r31)
+	r32 := ws.Get(k, k)
+	mat.TTo(r32, r23)
 
 	// Step 3: eigendecomposition of M = R₁,₂·R₃,₂⁻¹·R₃,₁ = V₁ᵀV₁ (Lemma 7).
-	r32inv, err := r32.Inverse()
-	if err != nil {
-		return nil, fmt.Errorf("core: R₃,₂ singular: %w", ErrDegenerate)
+	lu := ws.LU(k)
+	r32inv := ws.Get(k, k)
+	if err := mat.InverseTo(r32inv, r32, lu); err != nil {
+		return vEstimates{}, fmt.Errorf("core: R₃,₂ singular: %w", ErrDegenerate)
 	}
-	m := r12.Mul(r32inv).Mul(r31)
+	chain := ws.Get(k, k) // shared scratch for the A·B·C products below
+	m := ws.Get(k, k)
+	mat.MulTo(chain, r12, r32inv)
+	mat.MulTo(m, chain, r31)
 
 	// Step 4: U₁ = E·D^{1/2}·E⁻¹, the square root of M. M is symmetric PSD
 	// in exact arithmetic; by default we symmetrize the estimate and use the
 	// orthogonal Jacobi decomposition (E⁻¹ = Eᵀ).
-	var u1 *mat.Matrix
+	u1 := ws.Get(k, k)
 	if opts.RawEigen {
-		eg, err := m.EigenDecompose()
+		eg, err := m.EigenDecomposeWS(ws)
 		if err != nil {
-			return nil, fmt.Errorf("core: eigen of R-product: %v: %w", err, ErrDegenerate)
+			return vEstimates{}, fmt.Errorf("core: eigen of R-product: %v: %w", err, ErrDegenerate)
 		}
-		vals, err := clampSpectrum(eg.Values, opts.StrictSpectrum)
-		if err != nil {
-			return nil, err
+		if err := clampSpectrumInPlace(eg.Values, opts.StrictSpectrum); err != nil {
+			return vEstimates{}, err
 		}
-		einv, err := eg.Vectors.Inverse()
-		if err != nil {
-			return nil, fmt.Errorf("core: eigenvectors singular: %w", ErrDegenerate)
+		einv := ws.Get(k, k)
+		if err := mat.InverseTo(einv, eg.Vectors, lu); err != nil {
+			return vEstimates{}, fmt.Errorf("core: eigenvectors singular: %w", ErrDegenerate)
 		}
-		u1 = eg.Vectors.Mul(mat.Diagonal(sqrtAll(vals))).Mul(einv)
+		scaleColsSqrt(chain, eg.Vectors, eg.Values)
+		mat.MulTo(u1, chain, einv)
 	} else {
-		eg, err := m.EigenSym()
+		eg, err := m.EigenSymWS(ws)
 		if err != nil {
-			return nil, err
+			return vEstimates{}, err
 		}
-		vals, err := clampSpectrum(eg.Values, opts.StrictSpectrum)
-		if err != nil {
-			return nil, err
+		if err := clampSpectrumInPlace(eg.Values, opts.StrictSpectrum); err != nil {
+			return vEstimates{}, err
 		}
-		u1 = eg.Vectors.Mul(mat.Diagonal(sqrtAll(vals))).Mul(eg.Vectors.T())
+		et := ws.Get(k, k)
+		mat.TTo(et, eg.Vectors)
+		scaleColsSqrt(chain, eg.Vectors, eg.Values)
+		mat.MulTo(u1, chain, et)
 	}
 
 	// U₂ = (U₁ᵀ)⁻¹·R₁,₂, so that V_i = U·U_i for a common unitary U
 	// (Lemma 7). U₃ is never needed: step 7 recovers V₂ and V₃ from V₁.
-	u1invT, err := u1.T().Inverse()
-	if err != nil {
-		return nil, fmt.Errorf("core: U₁ singular: %w", ErrDegenerate)
+	u1t := ws.Get(k, k)
+	mat.TTo(u1t, u1)
+	u1invT := ws.Get(k, k)
+	if err := mat.InverseTo(u1invT, u1t, lu); err != nil {
+		return vEstimates{}, fmt.Errorf("core: U₁ singular: %w", ErrDegenerate)
 	}
-	u2 := u1invT.Mul(r12)
-	u2inv, err := u2.Inverse()
-	if err != nil {
-		return nil, fmt.Errorf("core: U₂ singular: %w", ErrDegenerate)
+	u2 := ws.Get(k, k)
+	mat.MulTo(u2, u1invT, r12)
+	u2inv := ws.Get(k, k)
+	if err := mat.InverseTo(u2inv, u2, lu); err != nil {
+		return vEstimates{}, fmt.Errorf("core: U₂ singular: %w", ErrDegenerate)
 	}
 
 	// Steps 5–6: recover the unitary U from the conditional response
 	// frequencies, once per conditioning response j₃ of worker 3, and
 	// average the aligned V₁ estimates.
-	v1sum := mat.New(k, k)
+	v1sum := ws.Get(k, k)
+	r123 := ws.Get(k, k)
+	b := ws.Get(k, k)
 	usable := 0
 	for j3 := 1; j3 <= k; j3++ {
 		var nj3 float64
 		for a := 1; a <= k; a++ {
-			for b := 1; b <= k; b++ {
-				nj3 += counts.At(a, b, j3)
+			for bb := 1; bb <= k; bb++ {
+				nj3 += counts.At(a, bb, j3)
 			}
 		}
 		if nj3 <= 0 {
 			continue // worker 3 never answered j₃ on fully-attempted tasks
 		}
-		r123 := mat.New(k, k)
 		for a := 1; a <= k; a++ {
-			for b := 1; b <= k; b++ {
-				r123.Set(a-1, b-1, counts.At(a, b, j3)/nj3)
+			row := r123.RowView(a - 1)
+			for bb := 1; bb <= k; bb++ {
+				row[bb-1] = counts.At(a, bb, j3) / nj3
 			}
 		}
 		// B = (U₁ᵀ)⁻¹·R₁,₂|₃,j₃·U₂⁻¹ = U⁻¹·(W₃,j₃/p(j₃))·U (Lemma 8): its
 		// eigenvector matrix X satisfies U = rows-normalized X⁻¹ up to row
 		// permutation and sign.
-		b := u1invT.Mul(r123).Mul(u2inv)
-		eg, err := b.EigenDecompose()
+		mat.MulTo(chain, u1invT, r123)
+		mat.MulTo(b, chain, u2inv)
+		eg, err := b.EigenDecomposeWS(ws)
 		if err != nil {
 			continue // complex pair for this j₃; skip it
 		}
@@ -411,28 +449,49 @@ func probEstimate(counts *crowd.Tensor3, opts KAryOptions) (*vEstimates, error) 
 		if spectrumDegenerate(eg.Values) {
 			continue
 		}
-		xinv, err := eg.Vectors.Inverse()
-		if err != nil {
+		u := ws.Get(k, k)
+		if err := mat.InverseTo(u, eg.Vectors, lu); err != nil {
 			continue
 		}
-		u := normalizeRows(xinv)
-		v1 := u.Mul(u1)
+		normalizeRowsInPlace(u)
+		v1 := ws.Get(k, k)
+		mat.MulTo(v1, u, u1)
 		fixSigns(v1, u)
-		aligned := alignRows(v1)
-		v1sum = v1sum.Plus(aligned)
+		aligned := alignRowsWS(v1, ws)
+		mat.PlusTo(v1sum, v1sum, aligned)
 		usable++
 	}
 	if usable == 0 {
-		return nil, fmt.Errorf("core: no usable conditional decomposition: %w", ErrDegenerate)
+		return vEstimates{}, fmt.Errorf("core: no usable conditional decomposition: %w", ErrDegenerate)
 	}
-	v1 := v1sum.Scale(1 / float64(usable))
+	v1 := ws.Get(k, k)
+	mat.ScaleTo(v1, v1sum, 1/float64(usable))
 
 	// Step 7: V₂ = (V₁ᵀ)⁻¹·R₁,₂ and V₃ = (V₁ᵀ)⁻¹·R₁,₃.
-	v1invT, err := v1.T().Inverse()
-	if err != nil {
-		return nil, fmt.Errorf("core: V₁ singular: %w", ErrDegenerate)
+	v1t := ws.Get(k, k)
+	mat.TTo(v1t, v1)
+	v1invT := ws.Get(k, k)
+	if err := mat.InverseTo(v1invT, v1t, lu); err != nil {
+		return vEstimates{}, fmt.Errorf("core: V₁ singular: %w", ErrDegenerate)
 	}
-	return &vEstimates{v: [3]*mat.Matrix{v1, v1invT.Mul(r12), v1invT.Mul(r13)}}, nil
+	v2 := ws.Get(k, k)
+	mat.MulTo(v2, v1invT, r12)
+	v3 := ws.Get(k, k)
+	mat.MulTo(v3, v1invT, r13)
+	return vEstimates{v: [3]*mat.Matrix{v1, v2, v3}}, nil
+}
+
+// scaleColsSqrt writes E·diag(√vals) into dst: column j of e scaled by
+// √vals[j]. This is the fused form of Mul with a Diagonal matrix.
+func scaleColsSqrt(dst, e *mat.Matrix, vals []float64) {
+	k := e.Rows()
+	for i := 0; i < k; i++ {
+		src := e.RowView(i)
+		out := dst.RowView(i)
+		for j := 0; j < k; j++ {
+			out[j] = src[j] * math.Sqrt(vals[j])
+		}
+	}
 }
 
 // spectrumDegenerate reports whether any two eigenvalues are too close for
@@ -454,12 +513,14 @@ func spectrumDegenerate(vals []float64) bool {
 	return false
 }
 
-// clampSpectrum guards the square root of the second-moment spectrum:
-// eigenvalues are clamped below at a small fraction of the dominant one
-// (or rejected under StrictSpectrum).
-func clampSpectrum(vals []float64, strict bool) ([]float64, error) {
+// clampSpectrumInPlace guards the square root of the second-moment
+// spectrum: eigenvalues are clamped below at a small fraction of the
+// dominant one (or rejected under StrictSpectrum). The clamp happens in
+// vals itself — the callers own the slice (it comes from their workspace)
+// and never need the raw spectrum afterwards.
+func clampSpectrumInPlace(vals []float64, strict bool) error {
 	if len(vals) == 0 {
-		return nil, fmt.Errorf("core: empty spectrum: %w", ErrDegenerate)
+		return fmt.Errorf("core: empty spectrum: %w", ErrDegenerate)
 	}
 	max := vals[0]
 	for _, v := range vals {
@@ -468,47 +529,53 @@ func clampSpectrum(vals []float64, strict bool) ([]float64, error) {
 		}
 	}
 	if max <= 0 {
-		return nil, fmt.Errorf("core: non-positive spectrum: %w", ErrDegenerate)
+		return fmt.Errorf("core: non-positive spectrum: %w", ErrDegenerate)
 	}
 	floor := 1e-9 * max
-	out := make([]float64, len(vals))
 	for i, v := range vals {
 		if v < floor {
 			if strict {
-				return nil, fmt.Errorf("core: eigenvalue %g below floor: %w", v, ErrDegenerate)
+				return fmt.Errorf("core: eigenvalue %g below floor: %w", v, ErrDegenerate)
 			}
-			v = floor
+			vals[i] = floor
 		}
-		out[i] = v
+	}
+	return nil
+}
+
+// clampSpectrum is the copying form of clampSpectrumInPlace, for callers
+// that do not own the slice.
+func clampSpectrum(vals []float64, strict bool) ([]float64, error) {
+	out := append([]float64(nil), vals...)
+	if err := clampSpectrumInPlace(out, strict); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func sqrtAll(vals []float64) []float64 {
-	out := make([]float64, len(vals))
-	for i, v := range vals {
-		out[i] = math.Sqrt(v)
-	}
-	return out
-}
-
-// normalizeRows scales each row of m to unit L2 norm, removing the
+// normalizeRowsInPlace scales each row of m to unit L2 norm, removing the
 // arbitrary per-eigenvector scaling of the spectral step.
-func normalizeRows(m *mat.Matrix) *mat.Matrix {
-	out := m.Clone()
-	for i := 0; i < out.Rows(); i++ {
+func normalizeRowsInPlace(m *mat.Matrix) {
+	for i := 0; i < m.Rows(); i++ {
+		row := m.RowView(i)
 		var s float64
-		for j := 0; j < out.Cols(); j++ {
-			s += out.At(i, j) * out.At(i, j)
+		for _, v := range row {
+			s += v * v
 		}
 		s = math.Sqrt(s)
 		if s == 0 {
 			continue
 		}
-		for j := 0; j < out.Cols(); j++ {
-			out.Set(i, j, out.At(i, j)/s)
+		for j := range row {
+			row[j] /= s
 		}
 	}
+}
+
+// normalizeRows is the non-mutating form of normalizeRowsInPlace.
+func normalizeRows(m *mat.Matrix) *mat.Matrix {
+	out := m.Clone()
+	normalizeRowsInPlace(out)
 	return out
 }
 
@@ -517,53 +584,60 @@ func normalizeRows(m *mat.Matrix) *mat.Matrix {
 // means the eigenvector's sign was flipped.
 func fixSigns(v1, u *mat.Matrix) {
 	for i := 0; i < v1.Rows(); i++ {
+		rowV := v1.RowView(i)
 		var s float64
-		for j := 0; j < v1.Cols(); j++ {
-			s += v1.At(i, j)
+		for _, v := range rowV {
+			s += v
 		}
 		if s < 0 {
-			for j := 0; j < v1.Cols(); j++ {
-				v1.Set(i, j, -v1.At(i, j))
-				u.Set(i, j, -u.At(i, j))
+			rowU := u.RowView(i)
+			for j := range rowV {
+				rowV[j] = -rowV[j]
+				rowU[j] = -rowU[j]
 			}
 		}
 	}
 }
 
-// alignRows permutes rows so each row's dominant element lands on the
+// alignRowsWS permutes rows so each row's dominant element lands on the
 // diagonal (the paper's step 6.d: worker matrices are diagonally dominant
 // per row). A greedy assignment on the globally largest entries resolves
-// conflicts deterministically.
-func alignRows(v *mat.Matrix) *mat.Matrix {
+// conflicts deterministically. Scratch and result come from ws.
+func alignRowsWS(v *mat.Matrix, ws *mat.Workspace) *mat.Matrix {
 	k := v.Rows()
-	rowTaken := make([]bool, k)
-	colTaken := make([]bool, k)
-	position := make([]int, k) // position[c] = source row placed at row c
+	taken := ws.GetInts(2 * k) // rows in [:k], columns in [k:], 1 = taken
+	rowTaken := taken[:k]
+	colTaken := taken[k:]
+	position := ws.GetInts(k) // position[c] = source row placed at row c
 	for step := 0; step < k; step++ {
 		bestR, bestC, bestV := -1, -1, math.Inf(-1)
 		for r := 0; r < k; r++ {
-			if rowTaken[r] {
+			if rowTaken[r] != 0 {
 				continue
 			}
+			row := v.RowView(r)
 			for c := 0; c < k; c++ {
-				if colTaken[c] {
+				if colTaken[c] != 0 {
 					continue
 				}
-				if v.At(r, c) > bestV {
-					bestR, bestC, bestV = r, c, v.At(r, c)
+				if row[c] > bestV {
+					bestR, bestC, bestV = r, c, row[c]
 				}
 			}
 		}
-		rowTaken[bestR] = true
-		colTaken[bestC] = true
+		rowTaken[bestR] = 1
+		colTaken[bestC] = 1
 		position[bestC] = bestR
 	}
-	out := mat.New(k, k)
+	out := ws.Get(k, k)
 	for c := 0; c < k; c++ {
-		src := position[c]
-		for j := 0; j < k; j++ {
-			out.Set(c, j, v.At(src, j))
-		}
+		copy(out.RowView(c), v.RowView(position[c]))
 	}
 	return out
+}
+
+// alignRows is alignRowsWS with throwaway scratch, kept for one-shot
+// callers and tests.
+func alignRows(v *mat.Matrix) *mat.Matrix {
+	return alignRowsWS(v, mat.NewWorkspace())
 }

@@ -76,7 +76,7 @@ func TestProbEstimateExact(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			counts := exactCounts(10000, tc.sel, tc.p1, tc.p2, tc.p3)
-			est, err := probEstimate(counts, KAryOptions{Confidence: 0.9})
+			est, err := probEstimate(counts, KAryOptions{Confidence: 0.9}, mat.NewWorkspace())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -100,7 +100,7 @@ func TestProbEstimateExactRawEigen(t *testing.T) {
 	sel := []float64{0.5, 0.5}
 	p1, p2, p3 := sim.PaperMatricesArity2[0], sim.PaperMatricesArity2[1], sim.PaperMatricesArity2[0]
 	counts := exactCounts(5000, sel, p1, p2, p3)
-	est, err := probEstimate(counts, KAryOptions{Confidence: 0.9, RawEigen: true})
+	est, err := probEstimate(counts, KAryOptions{Confidence: 0.9, RawEigen: true}, mat.NewWorkspace())
 	if err != nil {
 		t.Fatal(err)
 	}

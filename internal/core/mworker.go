@@ -117,22 +117,36 @@ func EvaluateWorkersDelta(ds *crowd.Dataset, opts EvalOptions) ([]WorkerDelta, e
 	cache := newFullStatsCache(ds)
 	out := make([]WorkerDelta, m)
 	if opts.Parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for i := 0; i < m; i++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				out[i] = evaluateOne(cache, m, i, opts, minCommon)
-			}(i)
+		// Worker-pool fan-out with one mat.Workspace per goroutine: each
+		// worker index writes only its own slot, so results are identical to
+		// the serial path while the covariance scratch is reused rather than
+		// reallocated per worker.
+		goroutines := runtime.GOMAXPROCS(0)
+		if goroutines > m {
+			goroutines = m
 		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := mat.NewWorkspace()
+				for i := range next {
+					out[i] = evaluateOne(cache, m, i, opts, minCommon, ws)
+				}
+			}()
+		}
+		for i := 0; i < m; i++ {
+			next <- i
+		}
+		close(next)
 		wg.Wait()
 		return out, nil
 	}
+	ws := mat.NewWorkspace()
 	for i := 0; i < m; i++ {
-		out[i] = evaluateOne(cache, m, i, opts, minCommon)
+		out[i] = evaluateOne(cache, m, i, opts, minCommon, ws)
 	}
 	return out, nil
 }
@@ -144,8 +158,11 @@ type agreementSource interface {
 	pairSource
 }
 
-// evaluateOne runs steps 1–3 of Algorithm A2 for a single worker.
-func evaluateOne(cache agreementSource, m, i int, opts EvalOptions, minCommon int) WorkerDelta {
+// evaluateOne runs steps 1–3 of Algorithm A2 for a single worker. ws is
+// the calling goroutine's scratch workspace for the Lemma 5 weight solve;
+// it is rewound here, so nothing handed out by it may outlive the call.
+func evaluateOne(cache agreementSource, m, i int, opts EvalOptions, minCommon int, ws *mat.Workspace) WorkerDelta {
+	ws.Reset()
 	est := WorkerDelta{Worker: i}
 	pairs := formPairs(cache, m, i, opts.Pairing, minCommon)
 	if len(pairs) == 0 {
@@ -195,33 +212,26 @@ func evaluateOne(cache agreementSource, m, i int, opts EvalOptions, minCommon in
 	pPool /= float64(l)
 	pPool = stat.Clamp01(pPool)
 
-	// Step 3: the l×l covariance matrix of the triple estimates (Lemma 4).
-	cov := mat.New(l, l)
-	for k1 := 0; k1 < l; k1++ {
-		cov.Set(k1, k1, triples[k1].est.Dev*triples[k1].est.Dev)
-		for k2 := k1 + 1; k2 < l; k2++ {
-			t1, t2 := triples[k1], triples[k2]
-			c := 0.0
-			for _, a := range []struct {
-				d float64
-				j int
-			}{{t1.dQij1, t1.j1}, {t1.dQij2, t1.j2}} {
-				for _, b := range []struct {
-					d float64
-					j int
-				}{{t2.dQij1, t2.j1}, {t2.dQij2, t2.j2}} {
-					c += a.d * b.d * lemma4C(cache, i, a.j, b.j, pPool)
-				}
-			}
-			cov.Set(k1, k2, c)
-			cov.Set(k2, k1, c)
-		}
+	// Step 3: the l×l covariance of the triple estimates (Lemma 4), in
+	// structured form: entries are generated on demand from the per-triple
+	// gradients and the agreement cache, so nothing l×l is allocated per
+	// worker. Each Lemma-4 entry costs four popcount-backed cache lookups,
+	// so it should be computed at most once: the Lemma 5 solve below has to
+	// materialize the matrix anyway (into reusable workspace scratch), and
+	// when it does, the delta method reads that scratch rather than
+	// regenerating entries; with uniform weights (or a single triple) no
+	// matrix is ever built and the structured quadratic form is used
+	// directly. Both routes produce bit-identical entries.
+	cov := newLemma4Cov(cache, i, pPool, l, ws)
+	for _, tr := range triples {
+		cov.add(tr.est.Dev*tr.est.Dev, tr.dQij1, tr.j1, tr.dQij2, tr.j2)
 	}
 
-	// Combination weights (Lemma 5 or uniform).
+	// Combination weights (Lemma 5 or uniform). The solve materializes the
+	// covariance into workspace scratch, which cov then serves Quad from.
 	weights := uniformWeights(l)
 	if opts.Weights == OptimalWeights && l > 1 {
-		if w, err := optimalWeights(cov); err == nil {
+		if w, err := optimalWeightsCov(cov, ws); err == nil {
 			weights = w
 		}
 	}
@@ -232,7 +242,7 @@ func evaluateOne(cache agreementSource, m, i int, opts EvalOptions, minCommon in
 	for k, tr := range triples {
 		mean += weights[k] * tr.est.Mean
 	}
-	de, err := DeltaMethod(mean, weights, cov)
+	de, err := DeltaMethodCov(mean, weights, cov)
 	if err != nil {
 		// Optimal weights can push aᵀCa negative when C is badly estimated;
 		// retry with uniform weights before giving up.
@@ -241,7 +251,7 @@ func evaluateOne(cache agreementSource, m, i int, opts EvalOptions, minCommon in
 		for k, tr := range triples {
 			mean += weights[k] * tr.est.Mean
 		}
-		de, err = DeltaMethod(mean, weights, cov)
+		de, err = DeltaMethodCov(mean, weights, cov)
 		if err != nil {
 			est.Err = err
 			return est
@@ -319,30 +329,4 @@ func uniformWeights(l int) []float64 {
 		w[i] = 1 / float64(l)
 	}
 	return w
-}
-
-// optimalWeights implements Lemma 5: with B = C⁻¹𝟙, the variance-minimizing
-// weights summing to 1 are A = B/‖B‖₁. (The paper normalizes by the L1 norm;
-// for a PSD C the entries of B share a sign, so this equals B/Σ B.)
-func optimalWeights(cov *mat.Matrix) ([]float64, error) {
-	l := cov.Rows()
-	ones := make([]float64, l)
-	for i := range ones {
-		ones[i] = 1
-	}
-	b, err := cov.Solve(ones)
-	if err != nil {
-		return nil, err
-	}
-	var sum float64
-	for _, v := range b {
-		sum += v
-	}
-	if sum == 0 {
-		return nil, fmt.Errorf("core: weight normalization is zero: %w", ErrDegenerate)
-	}
-	for i := range b {
-		b[i] /= sum
-	}
-	return b, nil
 }

@@ -11,12 +11,15 @@ import (
 // dᵀΣd and a diagonal magnitude Σ dᵢ²·|Σᵢᵢ| used to calibrate the roundoff
 // tolerance when the plug-in quadratic form dips negative.
 //
-// Two implementations exist. DenseCov wraps an explicit matrix and is what
-// Algorithms A1/A2 use (their Σ is 3×3 or l×l — small). MultinomialCov
+// Three implementations exist. DenseCov wraps an explicit matrix and is
+// what Algorithm A1 uses (its Σ is the 3×3 Lemma 3 matrix). MultinomialCov
 // exploits the structure Σ = n·(diag(p) − p·pᵀ) of the k³-dimensional
 // multinomial count covariance in Algorithm A3 (Lemma 9), evaluating the
 // quadratic form in O(k³) time and O(1) extra memory instead of
-// materializing the O(k⁶) dense matrix.
+// materializing the O(k⁶) dense matrix. Lemma4Cov generates Algorithm A2's
+// l×l cross-triple covariance entry-by-entry from O(l + m) inputs (per-
+// triple gradients plus the pooled agreement cache), so the dense matrix is
+// never built on the A2 estimation path.
 type CovQuadForm interface {
 	// Dim is the dimension of Σ (the required gradient length).
 	Dim() int

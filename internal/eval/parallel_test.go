@@ -59,6 +59,32 @@ func TestRunReplicatesFirstError(t *testing.T) {
 	}
 }
 
+// TestKAryInnerFanOutMatchesSerial pins the A3 figure runners with the
+// replicate count below GOMAXPROCS, the regime where innerParallel turns on
+// the 2k³-entry gradient fan-out inside each replicate — the path where
+// every goroutine owns a private tensor clone and mat.Workspace. The
+// series must stay byte-identical to the fully serial run.
+func TestKAryInnerFanOutMatchesSerial(t *testing.T) {
+	for _, name := range []string{"fig5a", "fig5b"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p := Params{Replicates: 1, Seed: 41}
+			serial, err := Run(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Parallel = true
+			parallel, err := Run(name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("%s: inner-parallel result differs from serial", name)
+			}
+		})
+	}
+}
+
 // TestFiguresParallelMatchesSerial is the acceptance test for the parallel
 // evaluation engine: every experiment runner must produce exactly the same
 // Result — series, points, failure counts — with Parallel on and off at

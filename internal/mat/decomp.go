@@ -2,53 +2,58 @@ package mat
 
 import "math"
 
-// Inverse returns m⁻¹ computed by Gauss–Jordan elimination with partial
-// pivoting. It returns ErrSingular when a pivot falls below tolerance.
+// Inverse returns m⁻¹. It is the value-returning wrapper over InverseTo:
+// arities 2 and 3 hit the unrolled adjugate kernels, larger matrices go
+// through the reusable LU factorization. It returns ErrSingular when the
+// matrix is singular to working precision.
 // (The paper's complexity remark mentions Williams' algorithm as an
-// asymptotic alternative; at crowd scale Gauss–Jordan is the right tool —
-// see DESIGN.md, substitution 3.)
+// asymptotic alternative; at crowd scale direct factorization is the right
+// tool — see DESIGN.md, substitution 3.)
 func (m *Matrix) Inverse() (*Matrix, error) {
 	if m.rows != m.cols {
 		return nil, ErrShape
 	}
-	n := m.rows
-	a := m.Clone()
-	inv := Identity(n)
-	for col := 0; col < n; col++ {
-		// Partial pivot: the largest |value| in this column at/below the
-		// diagonal keeps the elimination numerically stable.
-		pivot := col
-		best := math.Abs(a.At(col, col))
-		for r := col + 1; r < n; r++ {
-			if v := math.Abs(a.At(r, col)); v > best {
-				best, pivot = v, r
-			}
-		}
-		if best < 1e-13 {
-			return nil, ErrSingular
-		}
-		a.SwapRows(col, pivot)
-		inv.SwapRows(col, pivot)
-		p := a.At(col, col)
-		for j := 0; j < n; j++ {
-			a.Set(col, j, a.At(col, j)/p)
-			inv.Set(col, j, inv.At(col, j)/p)
-		}
-		for r := 0; r < n; r++ {
-			if r == col {
-				continue
-			}
-			f := a.At(r, col)
-			if f == 0 {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				a.Add(r, j, -f*a.At(col, j))
-				inv.Add(r, j, -f*inv.At(col, j))
-			}
-		}
+	dst := New(m.rows, m.cols)
+	var f *LU
+	if m.rows > 3 {
+		f = NewLU(m.rows)
 	}
-	return inv, nil
+	if err := InverseTo(dst, m, f); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// InverseTo writes src⁻¹ into dst, which must share src's (square) shape
+// and must not alias it. Arities 2 and 3 — the dominant response arities —
+// dispatch to unrolled adjugate kernels; larger matrices refactor the
+// caller-owned LU scratch f (from NewLU or Workspace.LU) and solve the n
+// unit systems, so repeated inversions allocate nothing. f may be nil when
+// src is at most 3×3. It returns ErrSingular (without allocating) when src
+// is singular to working precision.
+func InverseTo(dst, src *Matrix, f *LU) error {
+	n := src.rows
+	if src.cols != n || dst.rows != n || dst.cols != n {
+		return ErrShape
+	}
+	switch n {
+	case 1:
+		v := src.data[0]
+		if !(math.Abs(v) > 1e-13) {
+			return ErrSingular
+		}
+		dst.data[0] = 1 / v
+		return nil
+	case 2:
+		return inv2(dst.data, src.data)
+	case 3:
+		return inv3(dst.data, src.data)
+	}
+	if err := f.Refactor(src); err != nil {
+		return err
+	}
+	f.InverseTo(dst)
+	return nil
 }
 
 // LU is a reusable LU factorization with partial pivoting: factor once,
@@ -59,6 +64,20 @@ type LU struct {
 	lu   *Matrix
 	perm []int
 	y    []float64 // forward-substitution scratch
+	e, x []float64 // unit-vector and solution scratch for InverseTo
+}
+
+// NewLU returns LU scratch for n×n systems, ready for Refactor. Workspaces
+// hand these out per dimension (Workspace.LU) so steady-state callers never
+// allocate one.
+func NewLU(n int) *LU {
+	return &LU{
+		lu:   New(n, n),
+		perm: make([]int, n),
+		y:    make([]float64, n),
+		e:    make([]float64, n),
+		x:    make([]float64, n),
+	}
 }
 
 // LUFactor returns the LU factorization of m with partial pivoting.
@@ -67,8 +86,8 @@ func (m *Matrix) LUFactor() (*LU, error) {
 	if m.rows != m.cols {
 		return nil, ErrShape
 	}
-	n := m.rows
-	f := &LU{lu: m.Clone(), perm: make([]int, n), y: make([]float64, n)}
+	f := NewLU(m.rows)
+	f.lu.CopyFrom(m)
 	return f, f.refactor()
 }
 
@@ -87,9 +106,9 @@ func (f *LU) refactor() error {
 	}
 	for col := 0; col < n; col++ {
 		pivot := col
-		best := math.Abs(lu.At(col, col))
+		best := math.Abs(lu.data[col*n+col])
 		for r := col + 1; r < n; r++ {
-			if v := math.Abs(lu.At(r, col)); v > best {
+			if v := math.Abs(lu.data[r*n+col]); v > best {
 				best, pivot = v, r
 			}
 		}
@@ -98,12 +117,14 @@ func (f *LU) refactor() error {
 		}
 		lu.SwapRows(col, pivot)
 		f.perm[col], f.perm[pivot] = f.perm[pivot], f.perm[col]
-		p := lu.At(col, col)
+		rowCol := lu.RowView(col)
+		p := rowCol[col]
 		for r := col + 1; r < n; r++ {
-			fr := lu.At(r, col) / p
-			lu.Set(r, col, fr)
+			rowR := lu.RowView(r)
+			fr := rowR[col] / p
+			rowR[col] = fr
 			for j := col + 1; j < n; j++ {
-				lu.Add(r, j, -fr*lu.At(col, j))
+				rowR[j] -= fr * rowCol[j]
 			}
 		}
 	}
@@ -120,18 +141,21 @@ func (f *LU) SolveInto(b, x []float64) {
 	// Forward substitution on the permuted right-hand side.
 	y := f.y
 	for i := 0; i < n; i++ {
-		y[i] = b[f.perm[i]]
+		row := lu.RowView(i)
+		s := b[f.perm[i]]
 		for j := 0; j < i; j++ {
-			y[i] -= lu.At(i, j) * y[j]
+			s -= row[j] * y[j]
 		}
+		y[i] = s
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
-		x[i] = y[i]
+		row := lu.RowView(i)
+		s := y[i]
 		for j := i + 1; j < n; j++ {
-			x[i] -= lu.At(i, j) * x[j]
+			s -= row[j] * x[j]
 		}
-		x[i] /= lu.At(i, i)
+		x[i] = s / row[i]
 	}
 }
 
@@ -140,6 +164,24 @@ func (f *LU) Solve(b []float64) []float64 {
 	x := make([]float64, len(b))
 	f.SolveInto(b, x)
 	return x
+}
+
+// InverseTo writes the inverse of the factored matrix into dst by solving
+// the n unit systems — O(n³) total, allocation-free (the unit vector and
+// column scratch live in the factorization).
+func (f *LU) InverseTo(dst *Matrix) {
+	n := f.lu.rows
+	if dst.rows != n || dst.cols != n {
+		panic(ErrShape)
+	}
+	for j := 0; j < n; j++ {
+		f.e[j] = 1
+		f.SolveInto(f.e, f.x)
+		f.e[j] = 0
+		for i := 0; i < n; i++ {
+			dst.data[i*n+j] = f.x[i]
+		}
+	}
 }
 
 // Solve returns x such that m·x = b, using LU factorization with partial

@@ -1,0 +1,148 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMulAddToAccumulates(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	dst := FromRows([][]float64{{100, 0}, {0, 100}})
+	MulAddTo(dst, a, b)
+	want := a.Mul(b)
+	if dst.At(0, 0) != 100+want.At(0, 0) || dst.At(1, 1) != 100+want.At(1, 1) ||
+		dst.At(0, 1) != want.At(0, 1) || dst.At(1, 0) != want.At(1, 0) {
+		t.Errorf("MulAddTo:\n%v", dst)
+	}
+}
+
+func TestMulToNonSquare(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}) // 2×3
+	b := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	dst := New(2, 2)
+	MulTo(dst, a, b)
+	if !dst.EqualApprox(a.Mul(b), 0) {
+		t.Errorf("non-square MulTo mismatch:\n%v", dst)
+	}
+}
+
+func TestElementwiseToAliasing(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	sum := a.Plus(b)
+	PlusTo(a, a, b) // dst aliases a
+	if !a.EqualApprox(sum, 0) {
+		t.Errorf("aliased PlusTo:\n%v", a)
+	}
+	a = FromRows([][]float64{{1, 2}, {3, 4}})
+	diff := a.Minus(b)
+	MinusTo(a, a, b)
+	if !a.EqualApprox(diff, 0) {
+		t.Errorf("aliased MinusTo:\n%v", a)
+	}
+	a = FromRows([][]float64{{1, 2}, {3, 4}})
+	scaled := a.Scale(2.5)
+	ScaleTo(a, a, 2.5)
+	if !a.EqualApprox(scaled, 0) {
+		t.Errorf("aliased ScaleTo:\n%v", a)
+	}
+}
+
+func TestSymmetrizeToAliasing(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	want := a.Symmetrize()
+	SymmetrizeTo(a, a) // in place
+	if !a.EqualApprox(want, 0) {
+		t.Errorf("aliased SymmetrizeTo:\n%v\nwant\n%v", a, want)
+	}
+}
+
+func TestMulVecTo(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	v := []float64{2, -1}
+	dst := make([]float64, 3)
+	MulVecTo(dst, a, v)
+	want := a.MulVec(v)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("MulVecTo[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestIdentityTo(t *testing.T) {
+	m := FromRows([][]float64{{9, 9}, {9, 9}})
+	IdentityTo(m)
+	if !m.EqualApprox(Identity(2), 0) {
+		t.Errorf("IdentityTo:\n%v", m)
+	}
+}
+
+func TestRowViewAliases(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	row := m.RowView(1)
+	row[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Error("RowView write did not reach the matrix")
+	}
+	// Row, by contrast, must stay a copy.
+	cp := m.Row(1)
+	cp[1] = -1
+	if m.At(1, 1) != 4 {
+		t.Error("Row copy aliased the matrix")
+	}
+}
+
+// TestWrappersMatchTo pins the wrapper contract: the value-returning
+// methods and their destination-passing forms produce identical floats.
+func TestWrappersMatchTo(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for _, n := range []int{2, 3, 5} {
+		a := randomMatrix(r, n)
+		b := randomMatrix(r, n)
+		dst := New(n, n)
+		MulTo(dst, a, b)
+		if !dst.EqualApprox(a.Mul(b), 0) {
+			t.Errorf("n=%d: MulTo vs Mul", n)
+		}
+		TTo(dst, a)
+		if !dst.EqualApprox(a.T(), 0) {
+			t.Errorf("n=%d: TTo vs T", n)
+		}
+		SymmetrizeTo(dst, a)
+		if !dst.EqualApprox(a.Symmetrize(), 0) {
+			t.Errorf("n=%d: SymmetrizeTo vs Symmetrize", n)
+		}
+		if inv, err := a.Inverse(); err == nil {
+			got := New(n, n)
+			if err := InverseTo(got, a, NewLU(n)); err != nil {
+				t.Errorf("n=%d: InverseTo failed where Inverse succeeded: %v", n, err)
+			} else if !got.EqualApprox(inv, 0) {
+				t.Errorf("n=%d: InverseTo vs Inverse", n)
+			}
+		}
+	}
+	// Eigen wrappers share the WS implementation.
+	m := randomMatrix(r, 4)
+	sym := m.Symmetrize()
+	e1, err1 := sym.EigenSym()
+	e2, err2 := sym.EigenSymWS(NewWorkspace())
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("EigenSym err %v vs WS err %v", err1, err2)
+	}
+	if err1 == nil {
+		for i, v := range e1.Values {
+			if v != e2.Values[i] {
+				t.Errorf("EigenSym value %d: %v vs %v", i, v, e2.Values[i])
+			}
+		}
+		if !e1.Vectors.EqualApprox(e2.Vectors, 0) {
+			t.Error("EigenSym vectors differ between wrapper and WS path")
+		}
+	}
+	if math.IsNaN(e1.Values[0]) {
+		t.Error("NaN eigenvalue")
+	}
+}

@@ -74,13 +74,14 @@ func (m *Matrix) QR() (q, r *Matrix) {
 			}
 		}
 		for i := 0; i < n; i++ {
+			qi := q.RowView(i)
 			var dot float64
 			for j := col; j < n; j++ {
-				dot += q.At(i, j) * v[j]
+				dot += qi[j] * v[j]
 			}
 			f := 2 * dot / vv
 			for j := col; j < n; j++ {
-				q.Add(i, j, -f*v[j])
+				qi[j] -= f * v[j]
 			}
 		}
 	}
@@ -94,11 +95,16 @@ func (m *Matrix) Hessenberg() *Matrix {
 	if m.rows != m.cols {
 		panic(ErrShape)
 	}
-	n := m.rows
 	h := m.Clone()
-	// Shared Householder scratch, as in QR: the window v[col+1:] is fully
-	// rewritten each iteration and nothing below it is read.
-	v := make([]float64, n)
+	hessenbergInPlace(h, make([]float64, m.rows))
+	return h
+}
+
+// hessenbergInPlace reduces h to upper Hessenberg form in place. v is
+// caller-owned Householder scratch of length h.Rows(): the window v[col+1:]
+// is fully rewritten each iteration and nothing below it is read.
+func hessenbergInPlace(h *Matrix, v []float64) {
+	n := h.rows
 	for col := 0; col < n-2; col++ {
 		var norm float64
 		for i := col + 1; i < n; i++ {
@@ -127,25 +133,25 @@ func (m *Matrix) Hessenberg() *Matrix {
 		for j := 0; j < n; j++ {
 			var dot float64
 			for i := col + 1; i < n; i++ {
-				dot += v[i] * h.At(i, j)
+				dot += v[i] * h.data[i*n+j]
 			}
 			f := 2 * dot / vv
 			for i := col + 1; i < n; i++ {
-				h.Add(i, j, -f*v[i])
+				h.data[i*n+j] -= f * v[i]
 			}
 		}
 		for i := 0; i < n; i++ {
+			hi := h.RowView(i)
 			var dot float64
 			for j := col + 1; j < n; j++ {
-				dot += h.At(i, j) * v[j]
+				dot += hi[j] * v[j]
 			}
 			f := 2 * dot / vv
 			for j := col + 1; j < n; j++ {
-				h.Add(i, j, -f*v[j])
+				hi[j] -= f * v[j]
 			}
 		}
 	}
-	return h
 }
 
 // Eigenvalues returns the eigenvalues of m, which must all be real, computed
@@ -156,18 +162,41 @@ func (m *Matrix) Eigenvalues() ([]float64, error) {
 	if m.rows != m.cols {
 		return nil, ErrShape
 	}
+	vals, err := eigenvaluesWS(m, NewWorkspace())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vals))
+	copy(out, vals)
+	return out, nil
+}
+
+// eigenvaluesWS is the allocation-free core of Eigenvalues: the returned
+// slice (ascending-sorted) is owned by ws and valid until its next Reset.
+// Errors are the bare sentinels, so failure paths do not allocate either.
+func eigenvaluesWS(m *Matrix, ws *Workspace) ([]float64, error) {
 	n := m.rows
 	if n == 1 {
-		return []float64{m.At(0, 0)}, nil
+		evs := ws.GetVec(1)
+		evs[0] = m.At(0, 0)
+		return evs, nil
 	}
-	h := m.Hessenberg()
-	evs := make([]float64, 0, n)
+	h := ws.Get(n, n)
+	h.CopyFrom(m)
+	hessenbergInPlace(h, ws.GetVec(n))
+	evs := ws.GetVec(n)
+	cnt := 0
+	// qrShiftStep scratch: an active block is at most n×n.
+	blk := ws.GetVec(n * n)
+	rotc := ws.GetVec(n)
+	rots := ws.GetVec(n)
 	hi := n - 1
 	const maxIter = 500
 	iter := 0
 	for hi >= 0 {
 		if hi == 0 {
-			evs = append(evs, h.At(0, 0))
+			evs[cnt] = h.At(0, 0)
+			cnt++
 			break
 		}
 		// Locate the start of the active unreduced block.
@@ -177,7 +206,8 @@ func (m *Matrix) Eigenvalues() ([]float64, error) {
 		}
 		if lo == hi {
 			// 1×1 block deflated.
-			evs = append(evs, h.At(hi, hi))
+			evs[cnt] = h.At(hi, hi)
+			cnt++
 			hi--
 			iter = 0
 			continue
@@ -188,7 +218,9 @@ func (m *Matrix) Eigenvalues() ([]float64, error) {
 			if !realPair {
 				return nil, ErrComplexEigen
 			}
-			evs = append(evs, l1, l2)
+			evs[cnt] = l1
+			evs[cnt+1] = l2
+			cnt += 2
 			hi -= 2
 			iter = 0
 			continue
@@ -202,10 +234,10 @@ func (m *Matrix) Eigenvalues() ([]float64, error) {
 			// Exceptional shift to escape rare symmetric-cycling stalls.
 			sigma = h.At(hi, hi) + math.Abs(h.At(hi, hi-1))
 		}
-		qrShiftStep(h, lo, hi, sigma)
+		qrShiftStep(h, lo, hi, sigma, blk, rotc, rots)
 	}
-	sort.Float64s(evs)
-	return evs, nil
+	sort.Float64s(evs[:cnt])
+	return evs[:cnt], nil
 }
 
 // negligible reports whether the subdiagonal entry h[i][i-1] is small enough
@@ -252,55 +284,54 @@ func wilkinsonShift(h *Matrix, hi int) float64 {
 
 // qrShiftStep performs one explicit shifted QR step, h ← RQ + σI, restricted
 // to the active block [lo..hi], using Givens rotations that exploit the
-// Hessenberg structure.
-func qrShiftStep(h *Matrix, lo, hi int, sigma float64) {
+// Hessenberg structure. blkbuf (≥ block² long), rotc and rots (≥ block−1)
+// are caller-owned scratch.
+func qrShiftStep(h *Matrix, lo, hi int, sigma float64, blkbuf, rotc, rots []float64) {
 	n := hi - lo + 1
-	// Copy active block and subtract shift.
-	blk := New(n, n)
+	// Copy active block into blkbuf (row-major, stride n) minus the shift.
+	blk := blkbuf[:n*n]
 	for i := 0; i < n; i++ {
+		hrow := h.RowView(lo + i)
 		for j := 0; j < n; j++ {
-			blk.Set(i, j, h.At(lo+i, lo+j))
+			blk[i*n+j] = hrow[lo+j]
 		}
-		blk.Add(i, i, -sigma)
+		blk[i*n+i] -= sigma
 	}
 	// Givens QR of a Hessenberg block: zero the single subdiagonal entry of
 	// each column, recording rotations.
-	type givens struct {
-		c, s float64
-	}
-	rots := make([]givens, n-1)
 	for k := 0; k < n-1; k++ {
-		a, b := blk.At(k, k), blk.At(k+1, k)
+		a, b := blk[k*n+k], blk[(k+1)*n+k]
 		r := math.Hypot(a, b)
 		if r == 0 {
-			rots[k] = givens{1, 0}
+			rotc[k], rots[k] = 1, 0
 			continue
 		}
 		c, s := a/r, b/r
-		rots[k] = givens{c, s}
+		rotc[k], rots[k] = c, s
 		for j := k; j < n; j++ {
-			x, y := blk.At(k, j), blk.At(k+1, j)
-			blk.Set(k, j, c*x+s*y)
-			blk.Set(k+1, j, -s*x+c*y)
+			x, y := blk[k*n+j], blk[(k+1)*n+j]
+			blk[k*n+j] = c*x + s*y
+			blk[(k+1)*n+j] = -s*x + c*y
 		}
 	}
 	// blk is now R; form RQ by applying the rotations on the right.
 	for k := 0; k < n-1; k++ {
-		c, s := rots[k].c, rots[k].s
+		c, s := rotc[k], rots[k]
 		for i := 0; i <= min(k+1, n-1); i++ {
-			x, y := blk.At(i, k), blk.At(i, k+1)
-			blk.Set(i, k, c*x+s*y)
-			blk.Set(i, k+1, -s*x+c*y)
+			x, y := blk[i*n+k], blk[i*n+k+1]
+			blk[i*n+k] = c*x + s*y
+			blk[i*n+k+1] = -s*x + c*y
 		}
 	}
 	// Write back with the shift restored.
 	for i := 0; i < n; i++ {
+		hrow := h.RowView(lo + i)
 		for j := 0; j < n; j++ {
-			v := blk.At(i, j)
+			v := blk[i*n+j]
 			if i == j {
 				v += sigma
 			}
-			h.Set(lo+i, lo+j, v)
+			hrow[lo+j] = v
 		}
 	}
 }
@@ -311,57 +342,73 @@ func qrShiftStep(h *Matrix, lo, hi int, sigma float64) {
 // returned in descending order. It fails with ErrComplexEigen /
 // ErrNoConverge / ErrSingular on degenerate inputs.
 func (m *Matrix) EigenDecompose() (*Eigen, error) {
-	vals, err := m.Eigenvalues()
+	e, err := m.EigenDecomposeWS(NewWorkspace())
 	if err != nil {
 		return nil, err
 	}
+	return &Eigen{Values: e.Values, Vectors: e.Vectors}, nil
+}
+
+// EigenDecomposeWS is EigenDecompose with every temporary — including the
+// returned values and vectors — drawn from ws: zero heap allocations in
+// steady state, on success and failure alike (errors are bare sentinels).
+// The result is valid until ws's next Reset.
+func (m *Matrix) EigenDecomposeWS(ws *Workspace) (Eigen, error) {
+	if m.rows != m.cols {
+		return Eigen{}, ErrShape
+	}
+	vals, err := eigenvaluesWS(m, ws)
+	if err != nil {
+		return Eigen{}, err
+	}
 	// Descending order: Algorithm A3 aligns factors by dominant eigenvalue.
-	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	// eigenvaluesWS sorts ascending, so reversing the slice is exactly the
+	// descending sort the previous implementation produced.
+	for i, j := 0, len(vals)-1; i < j; i, j = i+1, j-1 {
+		vals[i], vals[j] = vals[j], vals[i]
+	}
 	n := m.rows
-	vecs := New(n, n)
+	vecs := ws.Get(n, n)
 	scale := m.MaxAbs()
 	if scale == 0 {
 		scale = 1
 	}
-	// One shifted-matrix scratch shared across all n inverse iterations.
-	shifted := New(n, n)
+	// Scratch shared across all n inverse iterations: the shifted matrix,
+	// its reusable factorization, and the two iterate vectors.
+	shifted := ws.Get(n, n)
+	f := ws.LU(n)
+	x := ws.GetVec(n)
+	y := ws.GetVec(n)
 	for j, lambda := range vals {
-		v, err := inverseIteration(m, shifted, lambda, scale)
+		v, err := inverseIteration(m, shifted, f, x, y, lambda, scale)
 		if err != nil {
-			return nil, err
+			return Eigen{}, err
 		}
 		for i := 0; i < n; i++ {
-			vecs.Set(i, j, v[i])
+			vecs.data[i*n+j] = v[i]
 		}
 	}
-	return &Eigen{Values: vals, Vectors: vecs}, nil
+	return Eigen{Values: vals, Vectors: vecs}, nil
 }
 
 // inverseIteration finds a unit eigenvector for the eigenvalue lambda of m by
 // repeatedly solving (m − (λ+ε)I)x = b. The perturbation ε keeps the system
 // nonsingular; a handful of iterations suffices for well-separated spectra.
-// The shifted system is factored once and the factorization reused for every
-// iterate (the matrix never changes between solves); shifted is caller-owned
-// scratch of m's shape.
-func inverseIteration(m, shifted *Matrix, lambda, scale float64) ([]float64, error) {
+// The shifted system is factored once into f and the factorization reused
+// for every iterate (the matrix never changes between solves). shifted, f,
+// x and y are caller-owned scratch of m's dimension; the returned slice is
+// one of x or y.
+func inverseIteration(m, shifted *Matrix, f *LU, x, y []float64, lambda, scale float64) ([]float64, error) {
 	n := m.rows
 	eps := 1e-9 * scale
-	var f *LU
 	for tries := 0; ; tries++ {
 		shifted.CopyFrom(m)
 		for i := 0; i < n; i++ {
-			shifted.Add(i, i, -(lambda + eps))
+			shifted.data[i*n+i] -= lambda + eps
 		}
-		var err error
-		if f == nil {
-			f, err = shifted.LUFactor()
-		} else {
-			err = f.Refactor(shifted)
-		}
-		if err == nil {
+		if err := f.Refactor(shifted); err == nil {
 			break
-		}
-		if tries >= 12 {
+		} else if tries >= 12 {
 			// The shift cannot be made nonsingular within a sane range.
 			return nil, err
 		}
@@ -369,8 +416,6 @@ func inverseIteration(m, shifted *Matrix, lambda, scale float64) ([]float64, err
 		eps *= 10
 	}
 	// Deterministic start vector with all components populated.
-	x := make([]float64, n)
-	y := make([]float64, n)
 	for i := range x {
 		x[i] = 1 / math.Sqrt(float64(n)) * (1 + 0.01*float64(i))
 	}
@@ -412,12 +457,25 @@ func normalize(v []float64) {
 // m is not checked for symmetry; only its lower triangle is trusted after
 // internal symmetrization.
 func (m *Matrix) EigenSym() (*Eigen, error) {
+	e, err := m.EigenSymWS(NewWorkspace())
+	if err != nil {
+		return nil, err
+	}
+	return &Eigen{Values: e.Values, Vectors: e.Vectors}, nil
+}
+
+// EigenSymWS is EigenSym with all scratch and results drawn from ws: zero
+// heap allocations in steady state. The result is valid until ws's next
+// Reset.
+func (m *Matrix) EigenSymWS(ws *Workspace) (Eigen, error) {
 	if m.rows != m.cols {
-		return nil, ErrShape
+		return Eigen{}, ErrShape
 	}
 	n := m.rows
-	a := m.Symmetrize()
-	v := Identity(n)
+	a := ws.Get(n, n)
+	SymmetrizeTo(a, m)
+	v := ws.Get(n, n)
+	IdentityTo(v)
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := a.OffDiagNorm()
@@ -426,11 +484,11 @@ func (m *Matrix) EigenSym() (*Eigen, error) {
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				apq := a.At(p, q)
+				apq := a.data[p*n+q]
 				if math.Abs(apq) < 1e-300 {
 					continue
 				}
-				app, aqq := a.At(p, p), a.At(q, q)
+				app, aqq := a.data[p*n+p], a.data[q*n+q]
 				theta := (aqq - app) / (2 * apq)
 				var t float64
 				if theta >= 0 {
@@ -442,42 +500,48 @@ func (m *Matrix) EigenSym() (*Eigen, error) {
 				s := t * c
 				// Apply the rotation to rows/columns p and q of A.
 				for k := 0; k < n; k++ {
-					akp, akq := a.At(k, p), a.At(k, q)
-					a.Set(k, p, c*akp-s*akq)
-					a.Set(k, q, s*akp+c*akq)
+					akp, akq := a.data[k*n+p], a.data[k*n+q]
+					a.data[k*n+p] = c*akp - s*akq
+					a.data[k*n+q] = s*akp + c*akq
+				}
+				rowP, rowQ := a.RowView(p), a.RowView(q)
+				for k := 0; k < n; k++ {
+					apk, aqk := rowP[k], rowQ[k]
+					rowP[k] = c*apk - s*aqk
+					rowQ[k] = s*apk + c*aqk
 				}
 				for k := 0; k < n; k++ {
-					apk, aqk := a.At(p, k), a.At(q, k)
-					a.Set(p, k, c*apk-s*aqk)
-					a.Set(q, k, s*apk+c*aqk)
-				}
-				for k := 0; k < n; k++ {
-					vkp, vkq := v.At(k, p), v.At(k, q)
-					v.Set(k, p, c*vkp-s*vkq)
-					v.Set(k, q, s*vkp+c*vkq)
+					vkp, vkq := v.data[k*n+p], v.data[k*n+q]
+					v.data[k*n+p] = c*vkp - s*vkq
+					v.data[k*n+q] = s*vkp + c*vkq
 				}
 			}
 		}
 	}
-	vals := make([]float64, n)
+	vals := ws.GetVec(n)
 	for i := range vals {
-		vals[i] = a.At(i, i)
+		vals[i] = a.data[i*n+i]
 	}
-	// Sort descending, permuting eigenvector columns alongside.
-	idx := make([]int, n)
+	// Sort descending, permuting eigenvector columns alongside. Insertion
+	// sort: no allocation, and n ≤ 8 in this domain.
+	idx := ws.GetInts(n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
-	sortedVals := make([]float64, n)
-	sortedVecs := New(n, n)
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[idx[j]] > vals[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	sortedVals := ws.GetVec(n)
+	sortedVecs := ws.Get(n, n)
 	for newCol, oldCol := range idx {
 		sortedVals[newCol] = vals[oldCol]
 		for i := 0; i < n; i++ {
-			sortedVecs.Set(i, newCol, v.At(i, oldCol))
+			sortedVecs.data[i*n+newCol] = v.data[i*n+oldCol]
 		}
 	}
-	return &Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
+	return Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
 }
 
 func min(a, b int) int {

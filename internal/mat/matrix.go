@@ -126,6 +126,14 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing m's storage: writes through the
+// returned slice mutate the matrix, and the slice is invalidated by nothing
+// (matrix storage never moves). It is the allocation-free alternative to
+// Row for hot paths; callers that need an independent copy use Row.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	out := make([]float64, m.rows)
@@ -149,10 +157,8 @@ func (m *Matrix) SwapRows(i, j int) {
 
 // Scale multiplies every element by s and returns a new matrix.
 func (m *Matrix) Scale(s float64) *Matrix {
-	c := m.Clone()
-	for i := range c.data {
-		c.data[i] *= s
-	}
+	c := New(m.rows, m.cols)
+	ScaleTo(c, m, s)
 	return c
 }
 
@@ -161,10 +167,8 @@ func (m *Matrix) Plus(o *Matrix) *Matrix {
 	if m.rows != o.rows || m.cols != o.cols {
 		panic(ErrShape)
 	}
-	c := m.Clone()
-	for i := range c.data {
-		c.data[i] += o.data[i]
-	}
+	c := New(m.rows, m.cols)
+	PlusTo(c, m, o)
 	return c
 }
 
@@ -173,10 +177,8 @@ func (m *Matrix) Minus(o *Matrix) *Matrix {
 	if m.rows != o.rows || m.cols != o.cols {
 		panic(ErrShape)
 	}
-	c := m.Clone()
-	for i := range c.data {
-		c.data[i] -= o.data[i]
-	}
+	c := New(m.rows, m.cols)
+	MinusTo(c, m, o)
 	return c
 }
 
@@ -186,19 +188,7 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 		panic(ErrShape)
 	}
 	out := New(m.rows, o.cols)
-	for i := 0; i < m.rows; i++ {
-		mi := m.data[i*m.cols : (i+1)*m.cols]
-		oi := out.data[i*out.cols : (i+1)*out.cols]
-		for k, mik := range mi {
-			if mik == 0 {
-				continue
-			}
-			ok := o.data[k*o.cols : (k+1)*o.cols]
-			for j, okj := range ok {
-				oi[j] += mik * okj
-			}
-		}
-	}
+	MulTo(out, m, o)
 	return out
 }
 
@@ -208,25 +198,14 @@ func (m *Matrix) MulVec(v []float64) []float64 {
 		panic(ErrShape)
 	}
 	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		var s float64
-		for j, r := range row {
-			s += r * v[j]
-		}
-		out[i] = s
-	}
+	MulVecTo(out, m, v)
 	return out
 }
 
 // T returns the transpose of m.
 func (m *Matrix) T() *Matrix {
 	t := New(m.cols, m.rows)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			t.data[j*t.cols+i] = m.data[i*m.cols+j]
-		}
-	}
+	TTo(t, m)
 	return t
 }
 
@@ -236,11 +215,7 @@ func (m *Matrix) Symmetrize() *Matrix {
 		panic(ErrShape)
 	}
 	s := New(m.rows, m.cols)
-	for i := 0; i < m.rows; i++ {
-		for j := 0; j < m.cols; j++ {
-			s.data[i*s.cols+j] = 0.5 * (m.data[i*m.cols+j] + m.data[j*m.cols+i])
-		}
-	}
+	SymmetrizeTo(s, m)
 	return s
 }
 
