@@ -7,6 +7,8 @@
 package crowdassess_test
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"crowdassess"
@@ -520,6 +522,36 @@ func BenchmarkIncrementalEvaluate(b *testing.B) {
 		if _, err := inc.Evaluate(i%10, crowdassess.Options{Confidence: 0.9}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkShardedIncrementalAdd measures the concurrent evaluator's
+// per-response cost under parallel submitters, the regime it exists for —
+// comparable against BenchmarkIncrementalAdd's single-goroutine path
+// because the workload matches it: 10 workers answering every task, so
+// each Add pays the same pairwise-counter accumulation against up to 9
+// prior responders. A global counter makes every (worker, task) pair
+// unique so every Add is accepted.
+func BenchmarkShardedIncrementalAdd(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			inc, err := crowdassess.NewShardedIncremental(10, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ctr atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(ctr.Add(1)) - 1
+					// b.Error, not b.Fatal: RunParallel bodies run off the
+					// benchmark goroutine, where FailNow is not allowed.
+					if inc.Add(i%10, i/10, crowdassess.Yes) != nil {
+						b.Error("add failed")
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

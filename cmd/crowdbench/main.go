@@ -6,6 +6,7 @@
 //	crowdbench -experiment fig1 [-replicates 500] [-seed 1] [-format table] [-o out.dat]
 //	crowdbench -experiment all  [-replicates 50] [-parallel]
 //	crowdbench -experiment all  -replicates 20 -parallel -benchjson BENCH_1.json
+//	crowdbench -ingest 1,2,4,8 -ingest-goroutines 8 -benchjson BENCH_3.json
 //	crowdbench -list
 //
 // -parallel fans replicates out over every CPU; the per-replicate seeding
@@ -13,6 +14,13 @@
 // serial run. -benchjson additionally records each experiment's wall-clock
 // time as machine-readable JSON, so the performance trajectory of the
 // runners can be tracked across commits.
+//
+// -ingest switches to the streaming-ingestion benchmark: for each listed
+// shard count it streams one synthetic crowd concurrently into a
+// core.ShardedIncremental and reports ingestion throughput (ops/sec vs
+// shard count — the sharded evaluator's scaling claim) plus the merge +
+// EvaluateAll time that follows. The same submissions go to every shard
+// count, so the numbers are comparable within a run.
 //
 // With -experiment all, every figure is regenerated in sequence; output for
 // experiment NAME goes to <out-prefix>NAME.<ext> when -o is given a prefix
@@ -27,24 +35,38 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"crowdassess/internal/core"
+	"crowdassess/internal/crowd"
 	"crowdassess/internal/eval"
+	"crowdassess/internal/randx"
 	"crowdassess/internal/report"
+	"crowdassess/internal/sim"
 )
 
 // benchRecord is one experiment's machine-readable timing, written by
 // -benchjson so the performance trajectory of the runners is recorded
-// across commits.
+// across commits. The ingestion benchmark fills the streaming fields;
+// figure runs leave them zero (omitted from the JSON).
 type benchRecord struct {
 	Experiment string  `json:"experiment"`
 	Seconds    float64 `json:"seconds"`
-	Replicates int     `json:"replicates"`
+	Replicates int     `json:"replicates,omitempty"`
 	Seed       int64   `json:"seed"`
-	Parallel   bool    `json:"parallel"`
-	Failures   int     `json:"failures"`
+	Parallel   bool    `json:"parallel,omitempty"`
+	Failures   int     `json:"failures,omitempty"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+
+	// Streaming-ingestion fields (-ingest).
+	Shards      int     `json:"shards,omitempty"`
+	Goroutines  int     `json:"goroutines,omitempty"`
+	Responses   int     `json:"responses,omitempty"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	EvalSeconds float64 `json:"eval_seconds,omitempty"`
 }
 
 func main() {
@@ -58,6 +80,11 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress messages")
 		parallel   = flag.Bool("parallel", false, "fan replicates out over all CPUs (results are byte-identical to serial)")
 		benchjson  = flag.String("benchjson", "", "also write per-experiment wall-clock timings as JSON to this file (e.g. BENCH_1.json)")
+
+		ingest           = flag.String("ingest", "", "run the streaming-ingestion benchmark over these comma-separated shard counts (e.g. 1,2,4,8)")
+		ingestWorkers    = flag.Int("ingest-workers", 64, "ingestion benchmark: crowd size")
+		ingestTasks      = flag.Int("ingest-tasks", 4000, "ingestion benchmark: task count")
+		ingestGoroutines = flag.Int("ingest-goroutines", 0, "ingestion benchmark: concurrent submitters (0 = GOMAXPROCS, min 8)")
 	)
 	flag.Parse()
 
@@ -65,6 +92,20 @@ func main() {
 		fmt.Println("available experiments:")
 		for _, name := range eval.Experiments() {
 			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+	if *ingest != "" {
+		records, err := runIngest(*ingest, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crowdbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *benchjson != "" {
+			if err := writeBenchJSON(*benchjson, records); err != nil {
+				fmt.Fprintf(os.Stderr, "crowdbench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -121,6 +162,101 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runIngest is the streaming-ingestion benchmark: the same shuffled
+// submission stream is ingested concurrently into a ShardedIncremental at
+// each requested shard count, and throughput plus the follow-up merge +
+// EvaluateAll time are recorded.
+func runIngest(shardList string, workers, tasks, goroutines int, seed int64, quiet bool) ([]benchRecord, error) {
+	var shardCounts []int
+	for _, f := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-ingest: bad shard count %q", f)
+		}
+		shardCounts = append(shardCounts, n)
+	}
+	if goroutines <= 0 {
+		goroutines = runtime.GOMAXPROCS(0)
+		// Even on small machines, exercise real interleaving: the benchmark
+		// measures lock sharding, not just CPU scaling.
+		if goroutines < 8 {
+			goroutines = 8
+		}
+	}
+
+	src := randx.NewSource(seed)
+	ds, _, err := sim.Binary{Tasks: tasks, Workers: workers, Density: 0.8}.Generate(src)
+	if err != nil {
+		return nil, err
+	}
+	type submission struct {
+		w, t int
+		r    crowd.Response
+	}
+	var subs []submission
+	for w := 0; w < workers; w++ {
+		for t := 0; t < tasks; t++ {
+			if ds.Attempted(w, t) {
+				subs = append(subs, submission{w, t, ds.Response(w, t)})
+			}
+		}
+	}
+	src.Shuffle(len(subs), func(i, j int) { subs[i], subs[j] = subs[j], subs[i] })
+
+	var records []benchRecord
+	for _, shards := range shardCounts {
+		inc, err := core.NewShardedIncremental(workers, shards)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < len(subs); i += goroutines {
+					s := subs[i]
+					if err := inc.Add(s.w, s.t, s.r); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		evalStart := time.Now()
+		if _, err := inc.EvaluateAll(core.EvalOptions{Confidence: 0.9}); err != nil {
+			return nil, err
+		}
+		evalElapsed := time.Since(evalStart)
+		ops := float64(len(subs)) / elapsed.Seconds()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "crowdbench: ingest shards=%d: %d responses in %v (%.0f ops/sec), merge+evaluate %v\n",
+				shards, len(subs), elapsed.Round(time.Millisecond), ops, evalElapsed.Round(time.Millisecond))
+		}
+		records = append(records, benchRecord{
+			Experiment:  fmt.Sprintf("ingest/shards=%d", shards),
+			Seconds:     elapsed.Seconds(),
+			Seed:        seed,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Shards:      shards,
+			Goroutines:  goroutines,
+			Responses:   len(subs),
+			OpsPerSec:   ops,
+			EvalSeconds: evalElapsed.Seconds(),
+		})
+	}
+	return records, nil
 }
 
 // writeBenchJSON records the timing trajectory for tooling.

@@ -193,9 +193,39 @@ func ExperimentNames() []string { return eval.Experiments() }
 type Incremental = core.Incremental
 
 // NewIncremental returns an empty streaming evaluator for a fixed pool of
-// binary workers.
+// binary workers. Add is single-goroutine; for concurrent ingestion use
+// NewShardedIncremental.
 func NewIncremental(workers int) (*Incremental, error) {
 	return core.NewIncremental(workers)
+}
+
+// ShardedIncremental is the concurrent streaming evaluator: ingestion is
+// hash-partitioned into task-stripe shards so Add is safe — and scales —
+// across goroutines, while intervals stay bit-identical to Incremental on
+// the same responses.
+type ShardedIncremental = core.ShardedIncremental
+
+// NewShardedIncremental returns an empty concurrent streaming evaluator
+// with the given number of task-stripe shards (a shard count around
+// GOMAXPROCS is a good default; see the README's Streaming section).
+func NewShardedIncremental(workers, shards int) (*ShardedIncremental, error) {
+	return core.NewShardedIncremental(workers, shards)
+}
+
+// StreamingEvaluator is the interface both streaming evaluators satisfy;
+// code that only ingests and evaluates can hold this and let the
+// constructor choose the sharding.
+type StreamingEvaluator = core.StreamingEvaluator
+
+// IncrementalOptions configures NewStreamingEvaluator; the zero value
+// selects the single-shard evaluator.
+type IncrementalOptions = core.IncrementalOptions
+
+// NewStreamingEvaluator returns a streaming evaluator sharded per opts:
+// Shards ≤ 1 gives the single-shard Incremental, anything higher the
+// concurrent ShardedIncremental.
+func NewStreamingEvaluator(workers int, opts IncrementalOptions) (StreamingEvaluator, error) {
+	return core.NewStreaming(workers, opts)
 }
 
 // Panel evaluation extends the k-ary estimator beyond three workers by
@@ -271,6 +301,13 @@ const (
 // mirrors the thresholds used across the paper's scenarios.
 func NewPool(workers int, policy PoolPolicy) (*Pool, error) {
 	return pool.NewManager(workers, policy)
+}
+
+// NewShardedPool creates a worker pool over the sharded streaming
+// evaluator: Record is safe from any number of goroutines and decisions
+// are identical to NewPool's on the same responses.
+func NewShardedPool(workers, shards int, policy PoolPolicy) (*Pool, error) {
+	return pool.NewShardedManager(workers, shards, policy)
 }
 
 // DefaultPoolPolicy returns the default decision bars.

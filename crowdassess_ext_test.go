@@ -3,6 +3,7 @@ package crowdassess_test
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"crowdassess"
@@ -49,6 +50,60 @@ func TestPublicIncremental(t *testing.T) {
 		}
 		if math.Abs(e.Interval.Mean-rates[e.Worker]) > 0.12 {
 			t.Errorf("worker %d: mean %v vs true %v", e.Worker, e.Interval.Mean, rates[e.Worker])
+		}
+	}
+}
+
+// TestPublicShardedIncremental drives the concurrent evaluator through the
+// facade: parallel ingestion, then intervals identical to the single-shard
+// evaluator's on the same responses.
+func TestPublicShardedIncremental(t *testing.T) {
+	ds, _ := buildCrowd(t, 30, 5, 200, 1)
+	single, err := crowdassess.NewIncremental(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharded crowdassess.StreamingEvaluator
+	sharded, err = crowdassess.NewStreamingEvaluator(5, crowdassess.IncrementalOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sharded.(*crowdassess.ShardedIncremental); !ok {
+		t.Fatalf("NewStreamingEvaluator(Shards: 3) = %T", sharded)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 5; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for task := 0; task < ds.Tasks(); task++ {
+				if err := sharded.Add(w, task, ds.Response(w, task)); err != nil {
+					t.Errorf("worker %d task %d: %v", w, task, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for task := 0; task < ds.Tasks(); task++ {
+		for w := 0; w < 5; w++ {
+			if err := single.Add(w, task, ds.Response(w, task)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	opts := crowdassess.Options{Confidence: 0.9}
+	want, err := single.EvaluateAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.EvaluateAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range want {
+		if (want[w].Err == nil) != (got[w].Err == nil) || got[w].Interval != want[w].Interval {
+			t.Errorf("worker %d: sharded %+v vs single %+v", w, got[w], want[w])
 		}
 	}
 }

@@ -1,7 +1,14 @@
 // Streaming: evaluate workers continuously as responses arrive, using the
-// incremental evaluator and the pool manager. Intervals tighten with every
-// batch of tasks; pool decisions fire as soon as the evidence clears a bar,
-// not at the end of the job.
+// sharded concurrent evaluator and the pool manager. Responses for each
+// batch are ingested from one goroutine per worker — the shape of a real
+// labelling service, where submissions arrive over many connections at
+// once — and intervals tighten with every batch; pool decisions fire as
+// soon as the evidence clears a bar, not at the end of the job.
+//
+// Because the sharded evaluator's intervals are bit-identical to the
+// single-shard one's on the same responses, and every batch is fully
+// ingested before its review, this prints the same decisions a serial
+// deployment would.
 //
 // Run with: go run ./examples/streaming
 package main
@@ -9,6 +16,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"crowdassess"
 )
@@ -28,7 +36,9 @@ func main() {
 	}
 
 	policy := crowdassess.DefaultPoolPolicy()
-	p, err := crowdassess.NewPool(5, policy)
+	// 4 task-stripe shards: concurrent Record calls only contend when
+	// their tasks hash to the same stripe.
+	p, err := crowdassess.NewShardedPool(5, 4, policy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,16 +46,24 @@ func main() {
 	const batch = 40
 	for start := 0; start < ds.Tasks(); start += batch {
 		end := start + batch
-		for task := start; task < end; task++ {
-			for w := 0; w < 5; w++ {
-				if p.State(w) == crowdassess.Fired {
-					continue // fired workers receive no more tasks
-				}
-				if err := p.Record(w, task, ds.Response(w, task)); err != nil {
-					log.Fatal(err)
-				}
+		// Each worker submits its batch from its own goroutine, as if over
+		// its own connection.
+		var wg sync.WaitGroup
+		for w := 0; w < 5; w++ {
+			if p.State(w) == crowdassess.Fired {
+				continue // fired workers receive no more tasks
 			}
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for task := start; task < end; task++ {
+					if err := p.Record(w, task, ds.Response(w, task)); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(w)
 		}
+		wg.Wait()
 		decisions, err := p.Review()
 		if err != nil {
 			log.Fatal(err)

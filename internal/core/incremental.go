@@ -9,6 +9,85 @@ import (
 	"crowdassess/internal/mat"
 )
 
+// streamStats holds the sufficient statistics of the streaming form of
+// Algorithm A2: symmetric pairwise agree/common counters plus per-worker
+// attendance bitsets over task indices. Everything in it is an integer
+// count, so two streamStats built from disjoint response sets merge
+// exactly — addFrom produces the same counters, bit for bit, as feeding
+// the union of the responses into one instance. That additivity is what
+// lets ShardedIncremental split ingestion across shards and still match
+// the single-shard evaluator's intervals exactly.
+type streamStats struct {
+	// agree/common are symmetric pairwise counters.
+	agree  [][]int
+	common [][]int
+	// responded[w] tracks whether worker w answered a given task (bitset
+	// over global task indices).
+	responded []dynBitset
+}
+
+func newStreamStats(workers int) *streamStats {
+	s := &streamStats{
+		agree:     make([][]int, workers),
+		common:    make([][]int, workers),
+		responded: make([]dynBitset, workers),
+	}
+	for i := range s.agree {
+		s.agree[i] = make([]int, workers)
+		s.common[i] = make([]int, workers)
+	}
+	return s
+}
+
+// record accounts for worker w answering r on task t, given the responses
+// previously recorded for that task. The caller appends to its own
+// task-response list; record only maintains the derived counters.
+func (s *streamStats) record(w, t int, r crowd.Response, prev []workerResponse) {
+	for _, p := range prev {
+		s.common[w][p.worker]++
+		s.common[p.worker][w]++
+		if p.resp == r {
+			s.agree[w][p.worker]++
+			s.agree[p.worker][w]++
+		}
+	}
+	s.responded[w].set(t)
+}
+
+// addFrom accumulates o into s: counter sums and attendance unions. The
+// task sets behind s and o must be disjoint (each task's responses live in
+// exactly one of them), which the sharded evaluator's task-striping
+// guarantees.
+func (s *streamStats) addFrom(o *streamStats) {
+	for i := range s.agree {
+		ai, oa := s.agree[i], o.agree[i]
+		ci, oc := s.common[i], o.common[i]
+		for j := range ai {
+			ai[j] += oa[j]
+			ci[j] += oc[j]
+		}
+		s.responded[i].orWith(o.responded[i])
+	}
+}
+
+// pair implements agreementSource over the streaming counters.
+func (s *streamStats) pair(i, j int) crowd.PairStats {
+	if i == j {
+		// Self-agreement, as PairMatrix defines it.
+		n := 0
+		for _, word := range s.responded[i] {
+			n += bits.OnesCount64(word)
+		}
+		return crowd.PairStats{Common: n, Agree: n}
+	}
+	return crowd.PairStats{Common: s.common[i][j], Agree: s.agree[i][j]}
+}
+
+// common3 implements agreementSource over the attendance bitsets.
+func (s *streamStats) common3(i, j, k int) int {
+	return and3Count(s.responded[i], s.responded[j], s.responded[k])
+}
+
 // Incremental maintains the sufficient statistics of Algorithm A2 online,
 // realizing the paper's closing remark that the method "can be easily
 // modified to be incremental, to keep efficiently updating worker error
@@ -20,19 +99,20 @@ import (
 // costs the same as the batch algorithm on the accumulated statistics —
 // no response is ever rescanned.
 //
+// Incremental is single-goroutine on the ingestion side: Add mutates
+// unguarded counters. Concurrent ingestion belongs to ShardedIncremental.
+//
 // The zero value is not usable; construct with NewIncremental.
 type Incremental struct {
-	workers int
-	arity   int
-	tasks   int // highest task index seen + 1
+	workers   int
+	arity     int
+	tasks     int // highest task index seen + 1
+	responses int // running response count, maintained by Add
 
 	// taskResponses[t] lists (worker, response) pairs for task t.
 	taskResponses map[int][]workerResponse
-	// responded[w] tracks whether worker w answered a given task (bitset).
-	responded []dynBitset
-	// agree/common are symmetric pairwise counters.
-	agree  [][]int
-	common [][]int
+	// stats holds the pairwise counters and attendance bitsets.
+	*streamStats
 
 	// wsPool recycles covariance-solve scratch across Evaluate calls.
 	// Evaluate only reads the accumulated statistics, so — as before this
@@ -63,6 +143,16 @@ func (b dynBitset) get(i int) bool {
 	return word < len(b) && b[word]&(1<<(uint(i)%64)) != 0
 }
 
+// orWith unions o into b, growing b as needed.
+func (b *dynBitset) orWith(o dynBitset) {
+	for len(*b) < len(o) {
+		*b = append(*b, 0)
+	}
+	for i, word := range o {
+		(*b)[i] |= word
+	}
+}
+
 // and3Count returns |a ∩ b ∩ c|.
 func and3Count(a, b, c dynBitset) int {
 	n := len(a)
@@ -86,20 +176,13 @@ func NewIncremental(workers int) (*Incremental, error) {
 	if workers < 3 {
 		return nil, fmt.Errorf("core: need at least 3 workers, have %d: %w", workers, ErrInsufficientData)
 	}
-	inc := &Incremental{
+	return &Incremental{
 		workers:       workers,
 		arity:         2,
 		taskResponses: make(map[int][]workerResponse),
-		responded:     make([]dynBitset, workers),
-		agree:         make([][]int, workers),
-		common:        make([][]int, workers),
+		streamStats:   newStreamStats(workers),
 		wsPool:        sync.Pool{New: func() any { return mat.NewWorkspace() }},
-	}
-	for i := range inc.agree {
-		inc.agree[i] = make([]int, workers)
-		inc.common[i] = make([]int, workers)
-	}
-	return inc, nil
+	}, nil
 }
 
 // Workers returns the number of workers tracked.
@@ -108,14 +191,10 @@ func (inc *Incremental) Workers() int { return inc.workers }
 // Tasks returns the number of distinct task indices seen.
 func (inc *Incremental) Tasks() int { return inc.tasks }
 
-// Responses returns the total number of responses recorded.
-func (inc *Incremental) Responses() int {
-	n := 0
-	for _, rs := range inc.taskResponses {
-		n += len(rs)
-	}
-	return n
-}
+// Responses returns the total number of responses recorded. It reads a
+// counter maintained by Add, so it is O(1) — pool.Review calls it every
+// batch and must not pay an O(tasks) rescan.
+func (inc *Incremental) Responses() int { return inc.responses }
 
 // Add records worker w's response r on task t. A worker may answer a task
 // only once; duplicate or out-of-range submissions are rejected.
@@ -132,38 +211,13 @@ func (inc *Incremental) Add(w, t int, r crowd.Response) error {
 	if inc.responded[w].get(t) {
 		return fmt.Errorf("core: worker %d already answered task %d", w, t)
 	}
-	for _, prev := range inc.taskResponses[t] {
-		inc.common[w][prev.worker]++
-		inc.common[prev.worker][w]++
-		if prev.resp == r {
-			inc.agree[w][prev.worker]++
-			inc.agree[prev.worker][w]++
-		}
-	}
+	inc.streamStats.record(w, t, r, inc.taskResponses[t])
 	inc.taskResponses[t] = append(inc.taskResponses[t], workerResponse{w, r})
-	inc.responded[w].set(t)
+	inc.responses++
 	if t+1 > inc.tasks {
 		inc.tasks = t + 1
 	}
 	return nil
-}
-
-// pair implements agreementSource over the streaming counters.
-func (inc *Incremental) pair(i, j int) crowd.PairStats {
-	if i == j {
-		// Self-agreement, as PairMatrix defines it.
-		n := 0
-		for _, word := range inc.responded[i] {
-			n += bits.OnesCount64(word)
-		}
-		return crowd.PairStats{Common: n, Agree: n}
-	}
-	return crowd.PairStats{Common: inc.common[i][j], Agree: inc.agree[i][j]}
-}
-
-// common3 implements agreementSource over the attendance bitsets.
-func (inc *Incremental) common3(i, j, k int) int {
-	return and3Count(inc.responded[i], inc.responded[j], inc.responded[k])
 }
 
 // Evaluate returns the current error-rate interval for one worker, from the
@@ -180,13 +234,32 @@ func (inc *Incremental) Evaluate(worker int, opts EvalOptions) (WorkerEstimate, 
 		minCommon = 1
 	}
 	ws := inc.wsPool.Get().(*mat.Workspace)
-	d := evaluateOne(inc, inc.workers, worker, opts, minCommon, ws)
-	inc.wsPool.Put(ws)
-	est := WorkerEstimate{Worker: d.Worker, Triples: d.Triples, Err: d.Err}
-	if d.Err == nil {
-		est.Interval = d.Est.Interval(opts.Confidence).ClampTo(0, 1)
+	// Deferred so a panic in evaluateOne cannot leak the workspace; Reset
+	// first so a recovered caller never receives a half-mutated arena.
+	defer func() {
+		ws.Reset()
+		inc.wsPool.Put(ws)
+	}()
+	return finishEstimate(evaluateOne(inc, inc.workers, worker, opts, minCommon, ws), opts.Confidence), nil
+}
+
+// EvaluateSubset returns current intervals for the given worker indices,
+// aligned with the input slice. It exists so callers that track
+// eligibility themselves (pool.Manager skips fired workers) don't pay for
+// estimates they will discard.
+func (inc *Incremental) EvaluateSubset(workers []int, opts EvalOptions) ([]WorkerEstimate, error) {
+	if err := checkConfidence(opts.Confidence); err != nil {
+		return nil, err
 	}
-	return est, nil
+	out := make([]WorkerEstimate, len(workers))
+	for i, w := range workers {
+		est, err := inc.Evaluate(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = est
+	}
+	return out, nil
 }
 
 // EvaluateAll returns current intervals for every worker.
@@ -209,17 +282,26 @@ func (inc *Incremental) EvaluateAll(opts EvalOptions) ([]WorkerEstimate, error) 
 // interoperability with the batch algorithms (pruning, k-ary analysis,
 // serialization).
 func (inc *Incremental) Snapshot() (*crowd.Dataset, error) {
-	if inc.tasks == 0 {
+	return snapshotDataset(inc.workers, inc.tasks, inc.arity, inc.taskResponses)
+}
+
+// snapshotDataset builds a Dataset from one or more task-response maps
+// (one per shard in the sharded evaluator; the maps' task sets must be
+// disjoint).
+func snapshotDataset(workers, tasks, arity int, responseMaps ...map[int][]workerResponse) (*crowd.Dataset, error) {
+	if tasks == 0 {
 		return nil, fmt.Errorf("core: no responses recorded: %w", ErrInsufficientData)
 	}
-	ds, err := crowd.NewDataset(inc.workers, inc.tasks, inc.arity)
+	ds, err := crowd.NewDataset(workers, tasks, arity)
 	if err != nil {
 		return nil, err
 	}
-	for t, rs := range inc.taskResponses {
-		for _, wr := range rs {
-			if err := ds.SetResponse(wr.worker, t, wr.resp); err != nil {
-				return nil, err
+	for _, m := range responseMaps {
+		for t, rs := range m {
+			for _, wr := range rs {
+				if err := ds.SetResponse(wr.worker, t, wr.resp); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -232,7 +314,15 @@ func (inc *Incremental) Snapshot() (*crowd.Dataset, error) {
 func (inc *Incremental) MajorityDisagreement() []float64 {
 	attempted := make([]int, inc.workers)
 	disagree := make([]int, inc.workers)
-	for _, rs := range inc.taskResponses {
+	tallyDisagreement(attempted, disagree, inc.taskResponses)
+	return disagreementRates(attempted, disagree)
+}
+
+// tallyDisagreement accumulates per-worker attempted/disagree counts over
+// one task-response map. Majorities are per task, so tallying a shard at a
+// time is exact.
+func tallyDisagreement(attempted, disagree []int, taskResponses map[int][]workerResponse) {
+	for _, rs := range taskResponses {
 		yes := 0
 		for _, wr := range rs {
 			if wr.resp == crowd.Yes {
@@ -256,7 +346,10 @@ func (inc *Incremental) MajorityDisagreement() []float64 {
 			}
 		}
 	}
-	out := make([]float64, inc.workers)
+}
+
+func disagreementRates(attempted, disagree []int) []float64 {
+	out := make([]float64, len(attempted))
 	for w := range out {
 		if attempted[w] > 0 {
 			out[w] = float64(disagree[w]) / float64(attempted[w])

@@ -51,28 +51,46 @@ func runReplicates[T any](parallel bool, seed int64, reps int, body func(src *ra
 	errs := make([]error, reps)
 	next := make(chan int)
 	var wg sync.WaitGroup
-	// Once any replicate fails the run's result is discarded, so later
-	// replicates are skipped rather than computed. Replicates are handed
-	// out in index order, so everything below a failing index is already
-	// in flight when its failure lands; the lowest recorded error — the
-	// one the serial loop would have surfaced — is therefore unaffected.
-	var failed atomic.Bool
+	// Once any replicate fails the run's result is discarded, so replicates
+	// above the failure are skipped rather than computed — both by the
+	// executors and by the feed loop, which stops dispatching instead of
+	// churning the channel through the remaining indices. minFail tracks the
+	// lowest failing replicate seen so far; anything at or below it must
+	// still run, because a lower index could fail too and serial semantics
+	// promise the error of the lowest failing replicate. Replicates are
+	// deterministic in their seed, so the lowest failing index f is fixed;
+	// every r < f runs (none can be skipped: skipping requires r > minFail ≥
+	// f > r, a contradiction), f itself runs for the same reason, and the
+	// scan below therefore returns errs[f] regardless of scheduling.
+	minFail := atomic.Int64{}
+	minFail.Store(int64(reps))
+	recordFailure := func(r int) {
+		for {
+			cur := minFail.Load()
+			if int64(r) >= cur || minFail.CompareAndSwap(cur, int64(r)) {
+				return
+			}
+		}
+	}
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for r := range next {
-				if failed.Load() {
+				if int64(r) > minFail.Load() {
 					continue
 				}
 				out[r], errs[r] = body(randx.NewSource(seed + int64(r)))
 				if errs[r] != nil {
-					failed.Store(true)
+					recordFailure(r)
 				}
 			}
 		}()
 	}
 	for r := 0; r < reps; r++ {
+		if int64(r) > minFail.Load() {
+			break
+		}
 		next <- r
 	}
 	close(next)

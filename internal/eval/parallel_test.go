@@ -3,7 +3,9 @@ package eval
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"crowdassess/internal/randx"
 )
@@ -56,6 +58,53 @@ func TestRunReplicatesFirstError(t *testing.T) {
 		if err.Error() != "replicate 4 failed" {
 			t.Errorf("parallel=%v: got %q, want the lowest failing replicate", parallel, err)
 		}
+	}
+}
+
+// TestRunReplicatesLowFailureAfterHighDispatch pins the dispatcher's
+// determinism guarantee in the adversarial schedule: replicate 7 fails
+// first, and only then does replicate 2 — already dispatched — fail.
+// The engine must still surface replicate 2's error (what the serial loop
+// would return), not 7's: a failure only stops dispatch of replicates
+// above the lowest failure seen so far, never the ones below it.
+func TestRunReplicatesLowFailureAfterHighDispatch(t *testing.T) {
+	const seed, reps = 200, 10
+	// The body only receives its seeded source, so recover the replicate
+	// index by matching the first draw.
+	idOf := func(src *randx.Source) int {
+		v := src.Float64()
+		for r := 0; r < reps; r++ {
+			if randx.NewSource(seed+int64(r)).Float64() == v {
+				return r
+			}
+		}
+		return -1
+	}
+	highFailed := make(chan struct{})
+	var once sync.Once
+	_, err := runReplicates(true, seed, reps, func(src *randx.Source) (int, error) {
+		switch r := idOf(src); r {
+		case 7:
+			once.Do(func() { close(highFailed) })
+			return 0, fmt.Errorf("replicate %d failed", r)
+		case 2:
+			// Hold replicate 2's failure until 7's has landed. The timeout
+			// fallback keeps single-CPU schedulers (where 2 runs before 7 is
+			// ever dispatched) from deadlocking; either way 2 must win.
+			select {
+			case <-highFailed:
+			case <-time.After(500 * time.Millisecond):
+			}
+			return 0, fmt.Errorf("replicate %d failed", r)
+		default:
+			return r, nil
+		}
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if err.Error() != "replicate 2 failed" {
+		t.Errorf("got %q, want the lowest failing replicate's error", err)
 	}
 }
 

@@ -13,12 +13,15 @@
 //
 // Responses stream in via Record; Review applies the policy to the current
 // statistics. The estimator is the streaming form of the paper's
-// Algorithm A2.
+// Algorithm A2 — single-shard by default (NewManager), sharded for
+// concurrent ingestion (NewShardedManager).
 package pool
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
@@ -135,23 +138,52 @@ type Decision struct {
 	Reason   string
 }
 
-// Manager tracks the pool.
+// Manager tracks the pool. It is built over core.StreamingEvaluator, so
+// the same lifecycle logic runs on the single-shard Incremental
+// (NewManager) and the concurrent ShardedIncremental (NewShardedManager).
+//
+// Concurrency: with a sharded evaluator, Record is safe from any number of
+// goroutines. Review and Estimates serialize against each other — and
+// against Record, which blocks on the state lock for the duration of the
+// call (merge plus covariance solves), so call Review at batch boundaries,
+// not per response; that stall is the price of decisions computed against
+// one consistent state. A Record racing a Review that fires the same
+// worker may land one last response for that worker — statistically
+// harmless (the estimator retains fired workers' responses anyway) and
+// inherent to concurrent ingestion.
 type Manager struct {
-	policy    Policy
-	inc       *core.Incremental
+	policy Policy
+	inc    core.StreamingEvaluator
+
+	// mu guards states; responses are per-worker atomics so concurrent
+	// Records for the same worker don't contend on it.
+	mu        sync.RWMutex
 	states    []State
-	responses []int
+	responses []atomic.Int64
 }
 
 // ErrFired is returned when a response is recorded for a fired worker.
 var ErrFired = errors.New("pool: worker is fired")
 
-// NewManager creates a pool of the given size, all workers on probation.
+// NewManager creates a pool of the given size, all workers on probation,
+// over the single-shard streaming evaluator (single-goroutine Record).
 func NewManager(workers int, policy Policy) (*Manager, error) {
+	return newManager(workers, policy, core.IncrementalOptions{})
+}
+
+// NewShardedManager creates a pool whose statistics are sharded across the
+// given number of task-stripes, making Record safe — and fast — from many
+// goroutines at once. Decisions are identical to NewManager's on the same
+// responses.
+func NewShardedManager(workers, shards int, policy Policy) (*Manager, error) {
+	return newManager(workers, policy, core.IncrementalOptions{Shards: shards})
+}
+
+func newManager(workers int, policy Policy, opts core.IncrementalOptions) (*Manager, error) {
 	if err := policy.validate(); err != nil {
 		return nil, err
 	}
-	inc, err := core.NewIncremental(workers)
+	inc, err := core.NewStreaming(workers, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +191,7 @@ func NewManager(workers int, policy Policy) (*Manager, error) {
 		policy:    policy,
 		inc:       inc,
 		states:    make([]State, workers),
-		responses: make([]int, workers),
+		responses: make([]atomic.Int64, workers),
 	}, nil
 }
 
@@ -167,11 +199,17 @@ func NewManager(workers int, policy Policy) (*Manager, error) {
 func (m *Manager) Workers() int { return len(m.states) }
 
 // State returns worker w's current state.
-func (m *Manager) State(w int) State { return m.states[w] }
+func (m *Manager) State(w int) State {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.states[w]
+}
 
 // ActiveWorkers returns the indices of workers eligible for new tasks
 // (probation and active).
 func (m *Manager) ActiveWorkers() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []int
 	for w, s := range m.states {
 		if s != Fired {
@@ -182,31 +220,49 @@ func (m *Manager) ActiveWorkers() []int {
 }
 
 // Record stores worker w's response on task t. Responses from fired workers
-// are rejected with ErrFired.
+// are rejected with ErrFired. With a sharded evaluator it is safe to call
+// concurrently.
 func (m *Manager) Record(w, t int, r crowd.Response) error {
 	if w < 0 || w >= len(m.states) {
 		return fmt.Errorf("pool: worker %d out of range", w)
 	}
-	if m.states[w] == Fired {
+	m.mu.RLock()
+	fired := m.states[w] == Fired
+	m.mu.RUnlock()
+	if fired {
 		return fmt.Errorf("pool: worker %d: %w", w, ErrFired)
 	}
 	if err := m.inc.Add(w, t, r); err != nil {
 		return err
 	}
-	m.responses[w]++
+	m.responses[w].Add(1)
 	return nil
 }
 
 // Review applies the policy to the current statistics and returns one
 // decision per non-fired worker with enough responses. State transitions
-// are applied before returning.
+// are applied before returning. Review holds the state lock for its
+// duration, so concurrent Reviews serialize and Record sees transitions
+// atomically.
 func (m *Manager) Review() ([]Decision, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []Decision
+	// Load every response counter once: a concurrent Record pushing a
+	// worker across MinResponses mid-Review must not let it reach the
+	// interval loop without having faced the spammer screen below.
+	counts := make([]int64, len(m.states))
+	for w := range counts {
+		counts[w] = m.responses[w].Load()
+	}
+	eligible := func(w int) bool {
+		return m.states[w] != Fired && counts[w] >= int64(m.policy.MinResponses)
+	}
 	// Spammer screen first: it also protects the interval estimates of the
 	// remaining workers (Section III-E).
 	dis := m.inc.MajorityDisagreement()
-	for w, s := range m.states {
-		if s == Fired || m.responses[w] < m.policy.MinResponses {
+	for w := range m.states {
+		if !eligible(w) {
 			continue
 		}
 		if dis[w] > m.policy.SpammerDisagreement {
@@ -218,15 +274,23 @@ func (m *Manager) Review() ([]Decision, error) {
 			})
 		}
 	}
-	opts := core.EvalOptions{Confidence: m.policy.Confidence}
-	for w, s := range m.states {
-		if s == Fired || m.responses[w] < m.policy.MinResponses {
-			continue
+	// One EvaluateSubset call over the still-eligible workers: the sharded
+	// evaluator merges its shards once and fans the solves out across
+	// shard workspaces, and nobody pays for fired or below-threshold
+	// workers' estimates.
+	var workers []int
+	for w := range m.states {
+		if eligible(w) {
+			workers = append(workers, w)
 		}
-		est, err := m.inc.Evaluate(w, opts)
-		if err != nil {
-			return nil, err
-		}
+	}
+	ests, err := m.inc.EvaluateSubset(workers, core.EvalOptions{Confidence: m.policy.Confidence})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range workers {
+		s := m.states[w]
+		est := ests[i]
 		if est.Err != nil {
 			out = append(out, Decision{Worker: w, Action: NoChange, State: s,
 				Reason: "no usable estimate yet"})
@@ -253,17 +317,14 @@ func (m *Manager) Review() ([]Decision, error) {
 // Estimates returns the current interval for every non-fired worker with
 // enough responses, without applying any policy action.
 func (m *Manager) Estimates() ([]core.WorkerEstimate, error) {
-	var out []core.WorkerEstimate
-	opts := core.EvalOptions{Confidence: m.policy.Confidence}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var workers []int
 	for w, s := range m.states {
-		if s == Fired || m.responses[w] < m.policy.MinResponses {
+		if s == Fired || m.responses[w].Load() < int64(m.policy.MinResponses) {
 			continue
 		}
-		est, err := m.inc.Evaluate(w, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, est)
+		workers = append(workers, w)
 	}
-	return out, nil
+	return m.inc.EvaluateSubset(workers, core.EvalOptions{Confidence: m.policy.Confidence})
 }

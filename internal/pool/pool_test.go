@@ -2,6 +2,8 @@ package pool
 
 import (
 	"errors"
+	"reflect"
+	"sync"
 	"testing"
 
 	"crowdassess/internal/crowd"
@@ -179,6 +181,116 @@ func TestEstimates(t *testing.T) {
 		if e.Err == nil && !e.Interval.IsValid() {
 			t.Errorf("worker %d: invalid interval", e.Worker)
 		}
+	}
+}
+
+// TestShardedManagerMatchesSingleShard feeds the same stream through a
+// single-shard and a sharded manager and demands identical decisions at
+// every review point — the pool-level face of the sharded evaluator's
+// bit-identity guarantee.
+func TestShardedManagerMatchesSingleShard(t *testing.T) {
+	rates := []float64{0.05, 0.08, 0.10, 0.12, 0.40, 0.48}
+	src := randx.NewSource(31)
+	ds, _, err := sim.Binary{Tasks: 300, Workers: len(rates), ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewManager(len(rates), DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewShardedManager(len(rates), 4, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < 300; task++ {
+		for w := range rates {
+			if single.State(w) == Fired {
+				continue
+			}
+			if err := single.Record(w, task, ds.Response(w, task)); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.Record(w, task, ds.Response(w, task)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if (task+1)%50 == 0 {
+			ds1, err := single.Review()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds2, err := sharded.Review()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ds1, ds2) {
+				t.Fatalf("task %d: decisions diverge:\nsingle  %+v\nsharded %+v", task, ds1, ds2)
+			}
+		}
+	}
+	for w := range rates {
+		if single.State(w) != sharded.State(w) {
+			t.Errorf("worker %d: state %v vs %v", w, single.State(w), sharded.State(w))
+		}
+	}
+}
+
+// TestShardedManagerConcurrentRecord hammers Record from many goroutines
+// (one per worker) with periodic Reviews from another — the deployment
+// shape the sharded manager exists for. Run under -race.
+func TestShardedManagerConcurrentRecord(t *testing.T) {
+	const workers, tasks = 6, 240
+	rates := []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.45}
+	src := randx.NewSource(47)
+	ds, _, err := sim.Binary{Tasks: tasks, Workers: workers, ErrorRates: rates}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewShardedManager(workers, 4, DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for task := 0; task < tasks; task++ {
+				err := m.Record(w, task, ds.Response(w, task))
+				if err != nil && !errors.Is(err, ErrFired) {
+					t.Errorf("worker %d task %d: %v", w, task, err)
+					return
+				}
+				if errors.Is(err, ErrFired) {
+					return
+				}
+			}
+		}(w)
+	}
+	reviews := make(chan struct{})
+	go func() {
+		defer close(reviews)
+		for i := 0; i < 4; i++ {
+			if _, err := m.Review(); err != nil {
+				t.Errorf("concurrent Review: %v", err)
+				return
+			}
+			m.ActiveWorkers()
+			if _, err := m.Estimates(); err != nil {
+				t.Errorf("concurrent Estimates: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-reviews
+	if _, err := m.Review(); err != nil {
+		t.Fatal(err)
+	}
+	// The obvious spammer must be gone once all the evidence is in.
+	if m.State(5) != Fired {
+		t.Errorf("spammer state %v after full stream", m.State(5))
 	}
 }
 
