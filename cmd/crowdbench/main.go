@@ -7,6 +7,7 @@
 //	crowdbench -experiment all  [-replicates 50] [-parallel]
 //	crowdbench -experiment all  -replicates 20 -parallel -benchjson BENCH_1.json
 //	crowdbench -ingest 1,2,4,8 -ingest-goroutines 8 -benchjson BENCH_3.json
+//	crowdbench -dist 1,2,4 -benchjson BENCH_4.json
 //	crowdbench -list
 //
 // -parallel fans replicates out over every CPU; the per-replicate seeding
@@ -21,6 +22,17 @@
 // shard count — the sharded evaluator's scaling claim) plus the merge +
 // EvaluateAll time that follows. The same submissions go to every shard
 // count, so the numbers are comparable within a run.
+//
+// -dist switches to the distributed-cluster benchmark: for each listed
+// node count it spins up that many in-process dist workers, routes the
+// same synthetic submission stream through a coordinator in concurrent
+// batches, and records ingestion throughput plus the pull + merge +
+// EvaluateAll time — the wire-protocol overhead a real crowdd cluster
+// pays on top of the in-memory sharded evaluator. A distributed replicate
+// sweep is timed per node count too. The workload shape is shared with
+// -ingest: -ingest-workers, -ingest-tasks and -ingest-goroutines size the
+// crowd, the task space and the concurrent submitters for both
+// benchmarks, so their numbers stay comparable.
 //
 // With -experiment all, every figure is regenerated in sequence; output for
 // experiment NAME goes to <out-prefix>NAME.<ext> when -o is given a prefix
@@ -42,6 +54,7 @@ import (
 
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
+	"crowdassess/internal/dist"
 	"crowdassess/internal/eval"
 	"crowdassess/internal/randx"
 	"crowdassess/internal/report"
@@ -61,12 +74,15 @@ type benchRecord struct {
 	Failures   int     `json:"failures,omitempty"`
 	GoMaxProcs int     `json:"gomaxprocs"`
 
-	// Streaming-ingestion fields (-ingest).
+	// Streaming-ingestion fields (-ingest), reused by -dist.
 	Shards      int     `json:"shards,omitempty"`
 	Goroutines  int     `json:"goroutines,omitempty"`
 	Responses   int     `json:"responses,omitempty"`
 	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
 	EvalSeconds float64 `json:"eval_seconds,omitempty"`
+
+	// Distributed-cluster fields (-dist).
+	Nodes int `json:"nodes,omitempty"`
 }
 
 func main() {
@@ -82,9 +98,12 @@ func main() {
 		benchjson  = flag.String("benchjson", "", "also write per-experiment wall-clock timings as JSON to this file (e.g. BENCH_1.json)")
 
 		ingest           = flag.String("ingest", "", "run the streaming-ingestion benchmark over these comma-separated shard counts (e.g. 1,2,4,8)")
-		ingestWorkers    = flag.Int("ingest-workers", 64, "ingestion benchmark: crowd size")
-		ingestTasks      = flag.Int("ingest-tasks", 4000, "ingestion benchmark: task count")
-		ingestGoroutines = flag.Int("ingest-goroutines", 0, "ingestion benchmark: concurrent submitters (0 = GOMAXPROCS, min 8)")
+		ingestWorkers    = flag.Int("ingest-workers", 64, "ingestion and -dist benchmarks: crowd size")
+		ingestTasks      = flag.Int("ingest-tasks", 4000, "ingestion and -dist benchmarks: task count")
+		ingestGoroutines = flag.Int("ingest-goroutines", 0, "ingestion and -dist benchmarks: concurrent submitters (0 = GOMAXPROCS, min 8)")
+
+		distNodes  = flag.String("dist", "", "run the distributed-cluster benchmark over these comma-separated node counts (e.g. 1,2,4)")
+		distShards = flag.Int("dist-shards", 2, "distributed benchmark: task-stripe shards per node")
 	)
 	flag.Parse()
 
@@ -95,8 +114,19 @@ func main() {
 		}
 		return
 	}
-	if *ingest != "" {
-		records, err := runIngest(*ingest, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
+	if *ingest != "" && *distNodes != "" {
+		fmt.Fprintln(os.Stderr, "crowdbench: -ingest and -dist are separate benchmarks; run them one at a time")
+		os.Exit(2)
+	}
+	if *ingest != "" || *distNodes != "" {
+		var records []benchRecord
+		var err error
+		switch {
+		case *ingest != "":
+			records, err = runIngest(*ingest, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
+		default:
+			records, err = runDist(*distNodes, *distShards, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crowdbench: %v\n", err)
 			os.Exit(1)
@@ -164,46 +194,52 @@ func main() {
 	}
 }
 
+// maxBenchCounts caps -ingest shard counts and -dist node counts: values
+// above it are always a typo, and letting one through would OOM the
+// benchmark allocating per-shard state.
+const maxBenchCounts = 1 << 12
+
+// parseCountList parses a comma-separated list of positive counts for
+// -ingest and -dist, rejecting malformed entries, non-positive values and
+// absurd magnitudes with errors that name the flag and the offending
+// field, instead of propagating them into the benchmark.
+func parseCountList(flagName, list string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(list, ",") {
+		field := strings.TrimSpace(f)
+		if field == "" {
+			return nil, fmt.Errorf("%s: empty count in %q", flagName, list)
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, fmt.Errorf("%s: malformed count %q: %v", flagName, field, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("%s: count must be positive, got %d", flagName, n)
+		}
+		if n > maxBenchCounts {
+			return nil, fmt.Errorf("%s: count %d exceeds limit %d", flagName, n, maxBenchCounts)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
 // runIngest is the streaming-ingestion benchmark: the same shuffled
 // submission stream is ingested concurrently into a ShardedIncremental at
 // each requested shard count, and throughput plus the follow-up merge +
 // EvaluateAll time are recorded.
 func runIngest(shardList string, workers, tasks, goroutines int, seed int64, quiet bool) ([]benchRecord, error) {
-	var shardCounts []int
-	for _, f := range strings.Split(shardList, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("-ingest: bad shard count %q", f)
-		}
-		shardCounts = append(shardCounts, n)
-	}
-	if goroutines <= 0 {
-		goroutines = runtime.GOMAXPROCS(0)
-		// Even on small machines, exercise real interleaving: the benchmark
-		// measures lock sharding, not just CPU scaling.
-		if goroutines < 8 {
-			goroutines = 8
-		}
-	}
-
-	src := randx.NewSource(seed)
-	ds, _, err := sim.Binary{Tasks: tasks, Workers: workers, Density: 0.8}.Generate(src)
+	shardCounts, err := parseCountList("-ingest", shardList)
 	if err != nil {
 		return nil, err
 	}
-	type submission struct {
-		w, t int
-		r    crowd.Response
+	goroutines = benchGoroutines(goroutines)
+
+	subs, err := genSubmissions(workers, tasks, seed)
+	if err != nil {
+		return nil, err
 	}
-	var subs []submission
-	for w := 0; w < workers; w++ {
-		for t := 0; t < tasks; t++ {
-			if ds.Attempted(w, t) {
-				subs = append(subs, submission{w, t, ds.Response(w, t)})
-			}
-		}
-	}
-	src.Shuffle(len(subs), func(i, j int) { subs[i], subs[j] = subs[j], subs[i] })
 
 	var records []benchRecord
 	for _, shards := range shardCounts {
@@ -255,6 +291,170 @@ func runIngest(shardList string, workers, tasks, goroutines int, seed int64, qui
 			OpsPerSec:   ops,
 			EvalSeconds: evalElapsed.Seconds(),
 		})
+	}
+	return records, nil
+}
+
+// benchGoroutines resolves the submitter count shared by -ingest and
+// -dist. Even on small machines it floors at 8: the benchmarks measure
+// lock sharding and request batching under real interleaving, not just
+// CPU scaling.
+func benchGoroutines(n int) int {
+	if n > 0 {
+		return n
+	}
+	n = runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// submission is one generated crowd response for the ingestion benchmarks.
+type submission struct {
+	w, t int
+	r    crowd.Response
+}
+
+// genSubmissions generates the shuffled synthetic submission stream both
+// -ingest and -dist replay, so their numbers are comparable.
+func genSubmissions(workers, tasks int, seed int64) ([]submission, error) {
+	src := randx.NewSource(seed)
+	ds, _, err := sim.Binary{Tasks: tasks, Workers: workers, Density: 0.8}.Generate(src)
+	if err != nil {
+		return nil, err
+	}
+	var subs []submission
+	for w := 0; w < workers; w++ {
+		for t := 0; t < tasks; t++ {
+			if ds.Attempted(w, t) {
+				subs = append(subs, submission{w, t, ds.Response(w, t)})
+			}
+		}
+	}
+	src.Shuffle(len(subs), func(i, j int) { subs[i], subs[j] = subs[j], subs[i] })
+	return subs, nil
+}
+
+// runDist is the distributed-cluster benchmark: for each node count it
+// spins up that many in-process dist workers behind a coordinator, streams
+// the submission stream through in concurrent batches, then times the pull
+// + merge + EvaluateAll round and a distributed replicate sweep. The same
+// submissions go to every node count, so the numbers are comparable
+// within a run.
+func runDist(nodeList string, shardsPerNode, workers, tasks, goroutines int, seed int64, quiet bool) ([]benchRecord, error) {
+	nodeCounts, err := parseCountList("-dist", nodeList)
+	if err != nil {
+		return nil, err
+	}
+	if shardsPerNode < 1 {
+		return nil, fmt.Errorf("-dist-shards: count must be positive, got %d", shardsPerNode)
+	}
+	goroutines = benchGoroutines(goroutines)
+	subs, err := genSubmissions(workers, tasks, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	const batchSize = 256
+	var records []benchRecord
+	for _, nodes := range nodeCounts {
+		conns := make([]*dist.Conn, nodes)
+		workerNodes := make([]*dist.Worker, nodes)
+		for i := range conns {
+			if workerNodes[i], err = dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shardsPerNode}); err != nil {
+				return nil, err
+			}
+			if conns[i], err = workerNodes[i].SelfConn(); err != nil {
+				return nil, err
+			}
+		}
+		coord, err := dist.NewCoordinator(workers, conns)
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				var batch []dist.Response
+				flush := func() {
+					if len(batch) > 0 && errs[g] == nil {
+						errs[g] = coord.Ingest(batch)
+						batch = batch[:0]
+					}
+				}
+				for i := g; i < len(subs); i += goroutines {
+					s := subs[i]
+					batch = append(batch, dist.Response{Worker: s.w, Task: s.t, Answer: s.r})
+					if len(batch) >= batchSize {
+						flush()
+					}
+				}
+				flush()
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		evalStart := time.Now()
+		if _, err := coord.EvaluateAll(core.EvalOptions{Confidence: 0.9}); err != nil {
+			return nil, err
+		}
+		evalElapsed := time.Since(evalStart)
+
+		sweepStart := time.Now()
+		spec := eval.SweepSpec{Kernel: eval.SweepWidth, Workers: 7, Tasks: 100, Replicates: 40, Seed: seed}
+		if _, err := coord.RunSweep(spec, true); err != nil {
+			return nil, err
+		}
+		sweepElapsed := time.Since(sweepStart)
+
+		if err := coord.Close(); err != nil {
+			return nil, err
+		}
+		for _, w := range workerNodes {
+			if err := w.Close(); err != nil {
+				return nil, err
+			}
+		}
+
+		ops := float64(len(subs)) / elapsed.Seconds()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "crowdbench: dist nodes=%d: %d responses in %v (%.0f ops/sec), merge+evaluate %v, sweep %v\n",
+				nodes, len(subs), elapsed.Round(time.Millisecond), ops, evalElapsed.Round(time.Millisecond), sweepElapsed.Round(time.Millisecond))
+		}
+		records = append(records,
+			benchRecord{
+				Experiment:  fmt.Sprintf("dist/nodes=%d", nodes),
+				Seconds:     elapsed.Seconds(),
+				Seed:        seed,
+				GoMaxProcs:  runtime.GOMAXPROCS(0),
+				Nodes:       nodes,
+				Shards:      shardsPerNode,
+				Goroutines:  goroutines,
+				Responses:   len(subs),
+				OpsPerSec:   ops,
+				EvalSeconds: evalElapsed.Seconds(),
+			},
+			benchRecord{
+				Experiment: fmt.Sprintf("distsweep/nodes=%d", nodes),
+				Seconds:    sweepElapsed.Seconds(),
+				Replicates: 40,
+				Seed:       seed,
+				Parallel:   true,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				Nodes:      nodes,
+			})
 	}
 	return records, nil
 }

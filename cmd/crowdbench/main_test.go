@@ -1,0 +1,50 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseCountList: the -ingest/-dist count lists reject malformed,
+// non-positive and absurd values with errors that name the flag, instead
+// of propagating them into the benchmark.
+func TestParseCountList(t *testing.T) {
+	good := []struct {
+		in   string
+		want []int
+	}{
+		{"1", []int{1}},
+		{"1,2,4,8", []int{1, 2, 4, 8}},
+		{" 2 , 4 ", []int{2, 4}},
+	}
+	for _, tc := range good {
+		got, err := parseCountList("-ingest", tc.in)
+		if err != nil || !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseCountList(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	bad := []string{
+		"",                         // empty list
+		"1,,2",                     // empty field
+		"1,2,",                     // trailing comma
+		"0",                        // non-positive
+		"-4",                       // negative
+		"2,-1",                     // negative in the middle
+		"abc",                      // not a number
+		"3.5",                      // not an integer
+		"1e3",                      // scientific notation is not a count
+		"999999999999999999999999", // overflow
+		"99999",                    // beyond the sanity cap
+	}
+	for _, in := range bad {
+		got, err := parseCountList("-dist", in)
+		if err == nil {
+			t.Errorf("parseCountList(%q) accepted: %v", in, got)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-dist") {
+			t.Errorf("parseCountList(%q) error %q does not name the flag", in, err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command crowdd is the distributed crowd-assessment worker daemon. It
+// owns a sharded streaming evaluator over the task slice its coordinator
+// routes to it, speaks the internal/dist merge/evaluate protocol on a TCP
+// listener, and reports health and ingestion statistics over HTTP.
+//
+// Usage:
+//
+//	crowdd -listen :7333 -workers 64 [-shards 8] [-health :8333]
+//
+// -workers is the crowd size (the worker-index space of the responses this
+// node ingests); every node of a cluster and its coordinator must agree on
+// it, and the protocol handshake enforces that. -shards sets the node's
+// local task-stripe count for concurrent ingestion (default GOMAXPROCS).
+//
+// With -health, the daemon serves:
+//
+//	GET /healthz — 200 and {"status":"ok"} while serving
+//	GET /statsz  — crowd size, shard count, tasks and responses ingested,
+//	               live coordinator connections, uptime
+//
+// On SIGINT/SIGTERM the daemon stops accepting, closes coordinator
+// connections after their in-flight request finishes, shuts the health
+// endpoint down, and exits 0 — a graceful drain, so a coordinator never
+// observes a half-written frame.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdassess/internal/dist"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7333", "TCP address to serve the dist protocol on")
+		nwork  = flag.Int("workers", 0, "crowd size (required; must match the coordinator)")
+		shards = flag.Int("shards", 0, "local task-stripe shards for concurrent ingestion (0 = GOMAXPROCS)")
+		health = flag.String("health", "", "optional HTTP address for /healthz and /statsz")
+	)
+	flag.Parse()
+	if err := run(*listen, *nwork, *shards, *health); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, workers, shards int, health string) error {
+	if workers == 0 {
+		return fmt.Errorf("-workers is required")
+	}
+	worker, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shards})
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "crowdd: serving %d-worker crowd on %s\n", workers, l.Addr())
+
+	var healthSrv *http.Server
+	if health != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+		})
+		mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(worker.Stats())
+		})
+		healthSrv = &http.Server{Addr: health, Handler: mux}
+		go func() {
+			if err := healthSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "crowdd: health endpoint: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "crowdd: health endpoint on %s\n", health)
+	}
+
+	// Serve until a shutdown signal, then drain gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- worker.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		worker.Close()
+		shutdownHealth(healthSrv)
+		return err
+	case <-ctx.Done():
+	}
+	stats := worker.Stats()
+	fmt.Fprintf(os.Stderr, "crowdd: shutting down after %v (%d responses over %d tasks)\n",
+		stats.Uptime.Round(time.Millisecond), stats.Responses, stats.Tasks)
+	worker.Close() // stops the listener; Serve returns nil on graceful close
+	shutdownHealth(healthSrv)
+	return <-serveErr
+}
+
+func shutdownHealth(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}

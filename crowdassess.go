@@ -32,6 +32,7 @@ import (
 	"crowdassess/internal/baseline"
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
+	"crowdassess/internal/dist"
 	"crowdassess/internal/eval"
 	"crowdassess/internal/pool"
 	"crowdassess/internal/randx"
@@ -226,6 +227,110 @@ type IncrementalOptions = core.IncrementalOptions
 // concurrent ShardedIncremental.
 func NewStreamingEvaluator(workers int, opts IncrementalOptions) (StreamingEvaluator, error) {
 	return core.NewStreaming(workers, opts)
+}
+
+// Distributed evaluation — the streaming evaluator spanned across
+// processes and machines. Worker nodes (the crowdd daemon, or in-process
+// workers) each ingest a disjoint slice of the task space into their own
+// sharded evaluator; the coordinator pulls per-node statistics over a
+// versioned binary wire protocol, merges them with the exact integer
+// reducer the sharded evaluator uses locally, and evaluates once — so
+// distributed intervals are bit-identical to a single-process evaluator
+// fed every response.
+type (
+	// DistributedEvaluator coordinates a cluster of worker nodes.
+	DistributedEvaluator = dist.Coordinator
+	// DistWorker is one in-process worker node (the library form of the
+	// crowdd daemon).
+	DistWorker = dist.Worker
+	// DistWorkerOptions configures a worker node.
+	DistWorkerOptions = dist.WorkerOptions
+	// DistConn is one framed coordinator↔worker connection.
+	DistConn = dist.Conn
+	// DistResponse is one crowd submission routed through a coordinator.
+	DistResponse = dist.Response
+)
+
+// NewDistributedEvaluator connects to crowdd worker daemons at the given
+// TCP addresses and handshakes them into a cluster over a crowd of the
+// given size. Ingestion routes every task to exactly one node;
+// EvaluateAll pulls, merges and solves — bit-identical to NewIncremental
+// fed the same responses.
+func NewDistributedEvaluator(workers int, addrs []string) (*DistributedEvaluator, error) {
+	conns := make([]*dist.Conn, 0, len(addrs))
+	for _, addr := range addrs {
+		conn, err := dist.DialTCP(addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, conn)
+	}
+	return dist.NewCoordinator(workers, conns)
+}
+
+// NewInProcessCluster spins up the given number of worker nodes inside
+// this process — the same protocol over an in-process transport — and
+// returns their coordinator. It exercises the full distributed path
+// (framing, codec, merge) without sockets; tests, examples and
+// single-machine deployments use it. Closing the coordinator closes the
+// connections; the workers themselves are garbage once disconnected.
+func NewInProcessCluster(workers, nodes, shardsPerNode int) (*DistributedEvaluator, error) {
+	conns := make([]*dist.Conn, nodes)
+	for i := range conns {
+		w, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shardsPerNode})
+		if err != nil {
+			return nil, err
+		}
+		if conns[i], err = w.SelfConn(); err != nil {
+			return nil, err
+		}
+	}
+	return dist.NewCoordinator(workers, conns)
+}
+
+// NewDistWorker returns an in-process worker node, for callers that embed
+// the crowdd role into their own daemon (serve it with Serve, or connect
+// locally with SelfConn).
+func NewDistWorker(opts DistWorkerOptions) (*DistWorker, error) {
+	return dist.NewWorker(opts)
+}
+
+// DialDistWorker opens a framed connection to a crowdd daemon, for
+// assembling a coordinator from a mix of transports with
+// NewDistributedCluster-style plumbing.
+func DialDistWorker(addr string) (*DistConn, error) {
+	return dist.DialTCP(addr)
+}
+
+// NewDistributedCluster builds a coordinator over already-open worker
+// connections (TCP, in-process, or mixed). The coordinator takes
+// ownership of the connections.
+func NewDistributedCluster(workers int, conns []*DistConn) (*DistributedEvaluator, error) {
+	return dist.NewCoordinator(workers, conns)
+}
+
+// Distributed replicate sweeps: experiment replicates partitioned across
+// worker nodes with unchanged per-replicate seeding, so a cluster returns
+// byte-identical results to a local run.
+type (
+	// SweepSpec describes a replicate sweep over a synthetic workload.
+	SweepSpec = eval.SweepSpec
+)
+
+// Sweep kernels for SweepSpec.Kernel.
+const (
+	SweepWidth    = eval.SweepWidth
+	SweepCoverage = eval.SweepCoverage
+)
+
+// RunSweep runs a replicate sweep locally. DistributedEvaluator.RunSweep
+// partitions the same sweep across a cluster and returns a byte-identical
+// Result.
+func RunSweep(spec SweepSpec, parallel bool) (*ExperimentResult, error) {
+	return eval.RunSweep(spec, parallel)
 }
 
 // Panel evaluation extends the k-ary estimator beyond three workers by

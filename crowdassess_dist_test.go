@@ -1,0 +1,109 @@
+package crowdassess_test
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"crowdassess"
+)
+
+// TestDistributedEvaluatorExact drives the distributed path end to end
+// through the public API: an in-process cluster ingests a crowd
+// concurrently and its intervals are bit-identical to the single-process
+// streaming evaluator's.
+func TestDistributedEvaluatorExact(t *testing.T) {
+	const workers, tasks = 7, 200
+	ds, _ := buildCrowd(t, 31, workers, tasks, 0.8)
+
+	coord, err := crowdassess.NewInProcessCluster(workers, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	local, err := crowdassess.NewIncremental(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each crowd worker submits from its own goroutine, batched.
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var batch []crowdassess.DistResponse
+			for task := 0; task < tasks; task++ {
+				if ds.Attempted(w, task) {
+					batch = append(batch, crowdassess.DistResponse{Worker: w, Task: task, Answer: ds.Response(w, task)})
+				}
+			}
+			errs[w] = coord.Ingest(batch)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		for task := 0; task < tasks; task++ {
+			if ds.Attempted(w, task) {
+				if err := local.Add(w, task, ds.Response(w, task)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	opts := crowdassess.Options{Confidence: 0.9}
+	want, err := local.EvaluateAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.EvaluateAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d estimates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if (got[i].Err == nil) != (want[i].Err == nil) {
+			t.Fatalf("worker %d error mismatch: %v vs %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Err != nil {
+			continue
+		}
+		if math.Float64bits(got[i].Interval.Lo) != math.Float64bits(want[i].Interval.Lo) ||
+			math.Float64bits(got[i].Interval.Hi) != math.Float64bits(want[i].Interval.Hi) {
+			t.Fatalf("worker %d: distributed interval [%v, %v] differs from local [%v, %v]",
+				i, got[i].Interval.Lo, got[i].Interval.Hi, want[i].Interval.Lo, want[i].Interval.Hi)
+		}
+	}
+}
+
+// TestDistributedSweepFacade: the public sweep entry points agree between
+// local and distributed runs.
+func TestDistributedSweepFacade(t *testing.T) {
+	spec := crowdassess.SweepSpec{Kernel: crowdassess.SweepWidth, Workers: 5, Tasks: 50, Replicates: 6, Seed: 3}
+	want, err := crowdassess.RunSweep(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := crowdassess.NewInProcessCluster(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	got, err := coord.RunSweep(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("distributed sweep differs from local:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,491 @@
+// Package dist spans the streaming evaluator across processes and
+// machines. Workers each own a core.ShardedIncremental over a disjoint
+// slice of the task space and ingest responses locally; a coordinator
+// pulls per-worker statistics exports over a small framed protocol, merges
+// them through the same addFrom reducer the sharded evaluator uses in
+// process, and evaluates once — bit-identical to a single local evaluator
+// fed every response. The replicate-sweep protocol rides the same
+// connections: the coordinator partitions replicate indices across workers
+// deterministically and reassembles their per-replicate vectors in global
+// order, so distributed sweeps are byte-identical to local ones too.
+//
+// The wire format is a versioned, deterministic binary codec: the same
+// statistics always encode to the same bytes, decoding never panics on
+// malformed input, and cross-version peers fail the handshake instead of
+// misreading frames.
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdassess/internal/core"
+)
+
+// ProtocolVersion is negotiated in the handshake; peers with different
+// versions refuse to talk rather than guess at frame layouts.
+const ProtocolVersion = 1
+
+// statsCodecVersion versions the statistics payload independently of the
+// protocol, so exports persisted to disk stay readable across protocol
+// bumps that leave the statistics layout alone.
+const statsCodecVersion = 1
+
+// statsMagic brands a statistics payload ("CrowdSTats").
+var statsMagic = [4]byte{'C', 'S', 'T', 'A'}
+
+// Decode-side sanity caps. They bound what a malformed or hostile frame
+// can make the decoder allocate; well-formed traffic never hits them.
+const (
+	// maxStatsWorkers caps the crowd size a statistics payload may claim.
+	maxStatsWorkers = 1 << 20
+	// maxCounter caps any single decoded counter or total.
+	maxCounter = 1 << 52
+)
+
+// ErrCodec tags every decode failure, so transport code can distinguish
+// malformed frames from I/O errors.
+var ErrCodec = errors.New("dist: malformed payload")
+
+// wireReader walks a payload with explicit bounds checking; every
+// primitive returns an error instead of panicking on truncated input.
+type wireReader struct {
+	buf []byte
+	off int
+}
+
+func (r *wireReader) fail(what string) error {
+	return fmt.Errorf("%w: %s at offset %d", ErrCodec, what, r.off)
+}
+
+func (r *wireReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, r.fail("truncated or overflowing varint " + what)
+	}
+	// Canonical payloads use minimal varints; an n-byte encoding of a value
+	// that fits n-1 bytes would give one state two encodings.
+	if n > 1 && v>>(7*(n-1)) == 0 {
+		return 0, r.fail("overlong varint " + what)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a uvarint bounded by max; use for any value that sizes an
+// allocation or indexes a slice.
+func (r *wireReader) count(what string, max uint64) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > max {
+		return 0, fmt.Errorf("%w: %s %d exceeds limit %d", ErrCodec, what, v, max)
+	}
+	return int(v), nil
+}
+
+func (r *wireReader) byte(what string) (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, r.fail("truncated byte " + what)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *wireReader) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) || r.off+n < r.off {
+		return nil, r.fail("truncated bytes " + what)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) u64le(what string) (uint64, error) {
+	b, err := r.bytes(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// rest returns how many bytes remain unread.
+func (r *wireReader) rest() int { return len(r.buf) - r.off }
+
+// done errors when payload bytes remain: a canonical encoding has no
+// trailing garbage.
+func (r *wireReader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendU64le(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// EncodeStats serializes a statistics export in the versioned canonical
+// form: magic, codec version, dimensions, the strict upper triangle of the
+// agree/common counters (varint-packed — the symmetry of the counters is a
+// property of the format, not a promise of the sender), then each worker's
+// attendance bitset. Equal exports always produce equal bytes.
+func EncodeStats(e *core.StatsExport) ([]byte, error) {
+	w := e.Workers
+	if w < 0 || len(e.Agree) != w || len(e.Common) != w || len(e.Responded) != w {
+		return nil, fmt.Errorf("dist: export rows (%d, %d, %d) do not match %d workers",
+			len(e.Agree), len(e.Common), len(e.Responded), w)
+	}
+	if e.Tasks < 0 || e.Responses < 0 {
+		return nil, fmt.Errorf("dist: export has negative totals (tasks %d, responses %d)", e.Tasks, e.Responses)
+	}
+	// Rough capacity: header + 2 varints per pair + bitset words.
+	buf := make([]byte, 0, 16+w*w+9*w)
+	buf = append(buf, statsMagic[:]...)
+	buf = appendUvarint(buf, statsCodecVersion)
+	buf = appendUvarint(buf, uint64(w))
+	buf = appendUvarint(buf, uint64(e.Tasks))
+	buf = appendUvarint(buf, uint64(e.Responses))
+	for i := 0; i < w; i++ {
+		if len(e.Agree[i]) != w || len(e.Common[i]) != w {
+			return nil, fmt.Errorf("dist: export counter row %d has length (%d, %d), want %d",
+				i, len(e.Agree[i]), len(e.Common[i]), w)
+		}
+		for j := i + 1; j < w; j++ {
+			a, c := e.Agree[i][j], e.Common[i][j]
+			if a < 0 || c < 0 || a > c {
+				return nil, fmt.Errorf("dist: export counter (%d,%d) is invalid (agree %d, common %d)", i, j, a, c)
+			}
+			buf = appendUvarint(buf, uint64(a))
+			buf = appendUvarint(buf, uint64(c))
+		}
+	}
+	for i := 0; i < w; i++ {
+		words := e.Responded[i]
+		// Canonical form drops trailing zero words, so the same attendance
+		// always encodes identically regardless of bitset capacity history.
+		n := len(words)
+		for n > 0 && words[n-1] == 0 {
+			n--
+		}
+		buf = appendUvarint(buf, uint64(n))
+		for _, word := range words[:n] {
+			buf = appendU64le(buf, word)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeStats parses a statistics payload. Malformed input of any kind —
+// truncation, bad magic, unknown version, absurd dimensions, inconsistent
+// counters, trailing bytes — yields an error, never a panic. The returned
+// export owns its memory.
+func DecodeStats(b []byte) (*core.StatsExport, error) {
+	r := &wireReader{buf: b}
+	magic, err := r.bytes(4, "magic")
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(magic) != statsMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCodec, magic)
+	}
+	version, err := r.uvarint("codec version")
+	if err != nil {
+		return nil, err
+	}
+	if version != statsCodecVersion {
+		return nil, fmt.Errorf("%w: unsupported stats codec version %d (have %d)", ErrCodec, version, statsCodecVersion)
+	}
+	workers, err := r.count("worker count", maxStatsWorkers)
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := r.count("task count", maxCounter)
+	if err != nil {
+		return nil, err
+	}
+	responses, err := r.count("response count", maxCounter)
+	if err != nil {
+		return nil, err
+	}
+	// Each of the workers*(workers-1)/2 pairs takes at least two bytes, so
+	// a payload claiming more workers than its length supports is rejected
+	// before anything quadratic is allocated.
+	if pairs := workers * (workers - 1) / 2; r.rest() < 2*pairs {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold %d counter pairs", ErrCodec, r.rest(), pairs)
+	}
+	e := &core.StatsExport{
+		Workers:   workers,
+		Tasks:     tasks,
+		Responses: responses,
+		Agree:     make([][]int, workers),
+		Common:    make([][]int, workers),
+		Responded: make([][]uint64, workers),
+	}
+	// Counter rows are allocated only as their wire bytes are consumed:
+	// row i costs O(workers) memory but getting past it costs at least
+	// 2·(workers−i−1) payload bytes, so a truncated or hostile frame can
+	// never make the decoder allocate much more than ~8× the bytes it
+	// actually carries (the varint-to-int expansion), instead of the full
+	// claimed workers² up front.
+	for i := 0; i < workers; i++ {
+		e.Agree[i] = make([]int, workers)
+		e.Common[i] = make([]int, workers)
+		for j := i + 1; j < workers; j++ {
+			a, err := r.count("agree counter", maxCounter)
+			if err != nil {
+				return nil, err
+			}
+			c, err := r.count("common counter", maxCounter)
+			if err != nil {
+				return nil, err
+			}
+			if a > c {
+				return nil, fmt.Errorf("%w: agree[%d][%d]=%d exceeds common=%d", ErrCodec, i, j, a, c)
+			}
+			e.Agree[i][j], e.Common[i][j] = a, c
+		}
+	}
+	// Mirror the upper triangle now that every row exists; the wire format
+	// carries no lower triangle, so symmetry is structural.
+	for i := 0; i < workers; i++ {
+		for j := i + 1; j < workers; j++ {
+			e.Agree[j][i] = e.Agree[i][j]
+			e.Common[j][i] = e.Common[i][j]
+		}
+	}
+	for i := 0; i < workers; i++ {
+		words, err := r.count("bitset length", uint64(r.rest()/8))
+		if err != nil {
+			return nil, err
+		}
+		e.Responded[i] = make([]uint64, words)
+		for k := 0; k < words; k++ {
+			if e.Responded[i][k], err = r.u64le("bitset word"); err != nil {
+				return nil, err
+			}
+		}
+		// The canonical form has no trailing zero words; admitting them
+		// would give one attendance set two encodings.
+		if words > 0 && e.Responded[i][words-1] == 0 {
+			return nil, fmt.Errorf("%w: non-canonical bitset for worker %d (trailing zero word)", ErrCodec, i)
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// helloMsg is the handshake in both directions: the coordinator announces
+// its protocol version and crowd size; the worker echoes its own (plus its
+// shard count) or refuses.
+type helloMsg struct {
+	Version int
+	Workers int
+	Shards  int
+}
+
+func encodeHello(m helloMsg) []byte {
+	buf := make([]byte, 0, 12)
+	buf = appendUvarint(buf, uint64(m.Version))
+	buf = appendUvarint(buf, uint64(m.Workers))
+	buf = appendUvarint(buf, uint64(m.Shards))
+	return buf
+}
+
+func decodeHello(b []byte) (helloMsg, error) {
+	r := &wireReader{buf: b}
+	var m helloMsg
+	var err error
+	if m.Version, err = r.count("protocol version", maxCounter); err != nil {
+		return m, err
+	}
+	if m.Workers, err = r.count("crowd size", maxStatsWorkers); err != nil {
+		return m, err
+	}
+	if m.Shards, err = r.count("shard count", maxStatsWorkers); err != nil {
+		return m, err
+	}
+	return m, r.done()
+}
+
+// responseRec is one routed submission inside an ingest batch.
+type responseRec struct {
+	Worker int
+	Task   int
+	Answer int
+}
+
+func encodeIngest(batch []responseRec) []byte {
+	buf := make([]byte, 0, 4+4*len(batch))
+	buf = appendUvarint(buf, uint64(len(batch)))
+	for _, s := range batch {
+		buf = appendUvarint(buf, uint64(s.Worker))
+		buf = appendUvarint(buf, uint64(s.Task))
+		buf = appendUvarint(buf, uint64(s.Answer))
+	}
+	return buf
+}
+
+func decodeIngest(b []byte) ([]responseRec, error) {
+	r := &wireReader{buf: b}
+	// Each record takes at least three bytes.
+	count, err := r.count("ingest count", uint64(r.rest())/3)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]responseRec, count)
+	for i := range batch {
+		if batch[i].Worker, err = r.count("response worker", maxStatsWorkers); err != nil {
+			return nil, err
+		}
+		if batch[i].Task, err = r.count("response task", maxCounter); err != nil {
+			return nil, err
+		}
+		if batch[i].Answer, err = r.count("response answer", maxCounter); err != nil {
+			return nil, err
+		}
+	}
+	return batch, r.done()
+}
+
+func encodeTotal(total int) []byte {
+	return appendUvarint(nil, uint64(total))
+}
+
+func decodeTotal(b []byte) (int, error) {
+	r := &wireReader{buf: b}
+	total, err := r.count("response total", maxCounter)
+	if err != nil {
+		return 0, err
+	}
+	return total, r.done()
+}
+
+// sweepMsg asks a worker to compute the global replicate indices [Lo, Hi)
+// of a sweep.
+type sweepMsg struct {
+	Kernel     string
+	Workers    int
+	Tasks      int
+	Density    float64
+	Replicates int
+	Seed       int64
+	Lo, Hi     int
+	Parallel   bool
+}
+
+const maxKernelName = 256
+
+func encodeSweep(m sweepMsg) []byte {
+	buf := make([]byte, 0, 64)
+	buf = appendUvarint(buf, uint64(len(m.Kernel)))
+	buf = append(buf, m.Kernel...)
+	buf = appendUvarint(buf, uint64(m.Workers))
+	buf = appendUvarint(buf, uint64(m.Tasks))
+	buf = appendU64le(buf, math.Float64bits(m.Density))
+	buf = appendUvarint(buf, uint64(m.Replicates))
+	buf = appendU64le(buf, uint64(m.Seed))
+	buf = appendUvarint(buf, uint64(m.Lo))
+	buf = appendUvarint(buf, uint64(m.Hi))
+	if m.Parallel {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func decodeSweep(b []byte) (sweepMsg, error) {
+	r := &wireReader{buf: b}
+	var m sweepMsg
+	n, err := r.count("kernel name length", maxKernelName)
+	if err != nil {
+		return m, err
+	}
+	name, err := r.bytes(n, "kernel name")
+	if err != nil {
+		return m, err
+	}
+	m.Kernel = string(name)
+	if m.Workers, err = r.count("sweep workers", maxStatsWorkers); err != nil {
+		return m, err
+	}
+	if m.Tasks, err = r.count("sweep tasks", maxCounter); err != nil {
+		return m, err
+	}
+	bits, err := r.u64le("sweep density")
+	if err != nil {
+		return m, err
+	}
+	m.Density = math.Float64frombits(bits)
+	if m.Replicates, err = r.count("sweep replicates", maxCounter); err != nil {
+		return m, err
+	}
+	seedBits, err := r.u64le("sweep seed")
+	if err != nil {
+		return m, err
+	}
+	m.Seed = int64(seedBits)
+	if m.Lo, err = r.count("sweep lo", maxCounter); err != nil {
+		return m, err
+	}
+	if m.Hi, err = r.count("sweep hi", maxCounter); err != nil {
+		return m, err
+	}
+	p, err := r.byte("sweep parallel flag")
+	if err != nil {
+		return m, err
+	}
+	m.Parallel = p != 0
+	return m, r.done()
+}
+
+func encodeVectors(vectors [][]float64) []byte {
+	size := 4
+	for _, v := range vectors {
+		size += 4 + 8*len(v)
+	}
+	buf := make([]byte, 0, size)
+	buf = appendUvarint(buf, uint64(len(vectors)))
+	for _, v := range vectors {
+		buf = appendUvarint(buf, uint64(len(v)))
+		for _, x := range v {
+			buf = appendU64le(buf, math.Float64bits(x))
+		}
+	}
+	return buf
+}
+
+func decodeVectors(b []byte) ([][]float64, error) {
+	r := &wireReader{buf: b}
+	count, err := r.count("vector count", uint64(r.rest()))
+	if err != nil {
+		return nil, err
+	}
+	vectors := make([][]float64, count)
+	for i := range vectors {
+		n, err := r.count("vector length", uint64(r.rest()/8))
+		if err != nil {
+			return nil, err
+		}
+		vectors[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			bits, err := r.u64le("vector element")
+			if err != nil {
+				return nil, err
+			}
+			vectors[i][k] = math.Float64frombits(bits)
+		}
+	}
+	return vectors, r.done()
+}

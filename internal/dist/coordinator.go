@@ -1,0 +1,327 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"crowdassess/internal/core"
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/eval"
+)
+
+// Response is one crowd submission routed through the coordinator: crowd
+// worker w answered task t with r.
+type Response struct {
+	Worker int
+	Task   int
+	Answer crowd.Response
+}
+
+// Coordinator drives a set of worker nodes. Ingestion routes every task to
+// exactly one node by the same multiplicative hash the sharded evaluator
+// stripes tasks with, so each node's statistics cover a disjoint task
+// slice; evaluation pulls every node's statistics export, merges them
+// through core.StatsAccumulator — the addFrom reducer — and solves once.
+// Because the merge is exact integer addition and the solve is the very
+// same Algorithm A2 path, the intervals are bit-identical to a single
+// local Incremental fed every response.
+//
+// All methods are safe for concurrent use; requests on the same node
+// serialize on that node's connection.
+type Coordinator struct {
+	workers int
+	nodes   []*node
+}
+
+// node is one worker connection; mu serializes request/response
+// round-trips on it.
+type node struct {
+	mu     sync.Mutex
+	conn   *Conn
+	shards int // node-local shard count, from the handshake
+}
+
+// NewCoordinator handshakes the given worker connections into a cluster
+// over a crowd of the given size. It takes ownership of the connections:
+// they are closed on handshake failure and by Close.
+func NewCoordinator(workers int, conns []*Conn) (*Coordinator, error) {
+	if len(conns) == 0 {
+		return nil, errors.New("dist: coordinator needs at least one worker connection")
+	}
+	if workers < 3 {
+		return nil, fmt.Errorf("dist: need at least 3 crowd workers, have %d", workers)
+	}
+	c := &Coordinator{workers: workers}
+	for i, conn := range conns {
+		replyType, reply, err := conn.roundTrip(msgHello, encodeHello(helloMsg{Version: ProtocolVersion, Workers: workers}))
+		if err == nil && replyType != msgHelloOK {
+			err = fmt.Errorf("dist: unexpected handshake reply 0x%02x", replyType)
+		}
+		var hello helloMsg
+		if err == nil {
+			hello, err = decodeHello(reply)
+		}
+		if err == nil && hello.Workers != workers {
+			err = fmt.Errorf("dist: node %d serves %d crowd workers, want %d", i, hello.Workers, workers)
+		}
+		if err != nil {
+			for _, cc := range conns {
+				cc.Close()
+			}
+			return nil, fmt.Errorf("dist: handshake with node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, &node{conn: conn, shards: hello.Shards})
+	}
+	return c, nil
+}
+
+// Workers returns the crowd size the cluster is indexed by.
+func (c *Coordinator) Workers() int { return c.workers }
+
+// Nodes returns the number of worker nodes.
+func (c *Coordinator) Nodes() int { return len(c.nodes) }
+
+// Close closes every worker connection.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		err := n.conn.Close()
+		n.mu.Unlock()
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// nodeOf routes task t to its owning node, deterministically, spreading
+// contiguous task ranges evenly. It deliberately uses a different mixer
+// (splitmix64's finalizer) than ShardedIncremental.shardOf: with the same
+// hash at both levels, every task a node receives would satisfy
+// H(t) ≡ node (mod nodes), collapsing the node's local shard striping
+// H(t) mod shards onto gcd(nodes, shards) residues — one shard lock doing
+// all the work whenever nodes and shards share a factor.
+func (c *Coordinator) nodeOf(t int) int {
+	h := uint64(t) + 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(h % uint64(len(c.nodes)))
+}
+
+// roundTrip runs one serialized request/response on a node and checks the
+// reply type.
+func (n *node) roundTrip(msgType byte, body []byte, wantReply byte) ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	replyType, reply, err := n.conn.roundTrip(msgType, body)
+	if err != nil {
+		return nil, err
+	}
+	if replyType != wantReply {
+		return nil, fmt.Errorf("dist: unexpected reply 0x%02x to 0x%02x", replyType, msgType)
+	}
+	return reply, nil
+}
+
+// Add routes one response to its owning node. For throughput, prefer
+// Ingest: it ships whole batches per node in single frames.
+func (c *Coordinator) Add(w, t int, r crowd.Response) error {
+	if t < 0 {
+		return fmt.Errorf("dist: negative task index %d", t)
+	}
+	batch := []responseRec{{Worker: w, Task: t, Answer: int(r)}}
+	_, err := c.nodes[c.nodeOf(t)].roundTrip(msgIngest, encodeIngest(batch), msgIngestOK)
+	return err
+}
+
+// Ingest routes a batch of responses: one frame per involved node, sent
+// concurrently. Responses for the same task always land on the same node,
+// in their order within the batch. On failure the errors of every failing
+// node are joined (in node order); earlier responses within batches may
+// already be ingested (the same per-response contract local Add has — a
+// rejected response never corrupts state).
+func (c *Coordinator) Ingest(batch []Response) error {
+	perNode := make([][]responseRec, len(c.nodes))
+	for _, s := range batch {
+		if s.Task < 0 {
+			return fmt.Errorf("dist: negative task index %d", s.Task)
+		}
+		ni := c.nodeOf(s.Task)
+		perNode[ni] = append(perNode[ni], responseRec{Worker: s.Worker, Task: s.Task, Answer: int(s.Answer)})
+	}
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for ni, recs := range perNode {
+		if len(recs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ni int, recs []responseRec) {
+			defer wg.Done()
+			_, errs[ni] = c.nodes[ni].roundTrip(msgIngest, encodeIngest(recs), msgIngestOK)
+		}(ni, recs)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Responses sums the nodes' running response totals — a few bytes per
+// node, pulled concurrently, so the cost is one round-trip rather than a
+// statistics merge. Streaming reviews may call this every batch.
+func (c *Coordinator) Responses() (int, error) {
+	totals := make([]int, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for ni := range c.nodes {
+		wg.Add(1)
+		go func(ni int) {
+			defer wg.Done()
+			reply, err := c.nodes[ni].roundTrip(msgPullTotal, nil, msgIngestOK)
+			if err != nil {
+				errs[ni] = err
+				return
+			}
+			totals[ni], errs[ni] = decodeTotal(reply)
+		}(ni)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, t := range totals {
+		total += t
+	}
+	return total, nil
+}
+
+// Merge pulls every node's statistics export (concurrently) and folds them
+// into a fresh accumulator in node order. The counters are integers, so
+// the merged state — and everything evaluated from it — is independent of
+// pull timing and identical to a single evaluator's.
+func (c *Coordinator) Merge() (*core.StatsAccumulator, error) {
+	exports := make([]*core.StatsExport, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for ni := range c.nodes {
+		wg.Add(1)
+		go func(ni int) {
+			defer wg.Done()
+			reply, err := c.nodes[ni].roundTrip(msgPullStats, nil, msgStats)
+			if err != nil {
+				errs[ni] = err
+				return
+			}
+			exports[ni], errs[ni] = DecodeStats(reply)
+		}(ni)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	acc, err := core.NewStatsAccumulator(c.workers)
+	if err != nil {
+		return nil, err
+	}
+	for ni, e := range exports {
+		if err := acc.Merge(e); err != nil {
+			return nil, fmt.Errorf("dist: merging node %d: %w", ni, err)
+		}
+	}
+	return acc, nil
+}
+
+// Evaluate pulls, merges and solves one worker's interval.
+func (c *Coordinator) Evaluate(worker int, opts core.EvalOptions) (core.WorkerEstimate, error) {
+	acc, err := c.Merge()
+	if err != nil {
+		return core.WorkerEstimate{}, err
+	}
+	return acc.Evaluate(worker, opts)
+}
+
+// EvaluateAll pulls every node's statistics once, merges them, and solves
+// every worker's interval — the distributed form of
+// Incremental.EvaluateAll, bit-identical to it on the same responses.
+func (c *Coordinator) EvaluateAll(opts core.EvalOptions) ([]core.WorkerEstimate, error) {
+	acc, err := c.Merge()
+	if err != nil {
+		return nil, err
+	}
+	return acc.EvaluateAll(opts)
+}
+
+// EvaluateSubset pulls and merges once, then solves only the listed
+// workers.
+func (c *Coordinator) EvaluateSubset(workers []int, opts core.EvalOptions) ([]core.WorkerEstimate, error) {
+	acc, err := c.Merge()
+	if err != nil {
+		return nil, err
+	}
+	return acc.EvaluateSubset(workers, opts)
+}
+
+// RunSweep distributes a replicate sweep: the replicate index range is
+// partitioned into contiguous per-node slices (node i of N computes
+// [i·R/N, (i+1)·R/N) — deterministic in the node count), each node runs
+// its slice with unchanged per-replicate seeding, and the reassembled
+// vectors reduce exactly as a local eval.RunSweep would. The Result is
+// byte-identical to the local run.
+func (c *Coordinator) RunSweep(spec eval.SweepSpec, parallel bool) (*eval.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.WithDefaults()
+	reps := spec.Replicates
+	n := len(c.nodes)
+	vectors := make([][][]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for ni := 0; ni < n; ni++ {
+		lo, hi := ni*reps/n, (ni+1)*reps/n
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(ni, lo, hi int) {
+			defer wg.Done()
+			body := encodeSweep(sweepMsg{
+				Kernel:     spec.Kernel,
+				Workers:    spec.Workers,
+				Tasks:      spec.Tasks,
+				Density:    spec.Density,
+				Replicates: reps,
+				Seed:       spec.Seed,
+				Lo:         lo,
+				Hi:         hi,
+				Parallel:   parallel,
+			})
+			reply, err := c.nodes[ni].roundTrip(msgSweep, body, msgSweepOK)
+			if err != nil {
+				errs[ni] = err
+				return
+			}
+			vecs, err := decodeVectors(reply)
+			if err == nil && len(vecs) != hi-lo {
+				err = fmt.Errorf("dist: node %d returned %d replicate vectors, want %d", ni, len(vecs), hi-lo)
+			}
+			vectors[ni], errs[ni] = vecs, err
+		}(ni, lo, hi)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	// Contiguous per-node ranges concatenate back into global replicate
+	// order.
+	all := make([][]float64, 0, reps)
+	for _, vecs := range vectors {
+		all = append(all, vecs...)
+	}
+	return eval.ReduceSweep(spec, all)
+}

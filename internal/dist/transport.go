@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Message types. Every frame is one message: a 4-byte big-endian payload
+// length, a type byte, then the type's body.
+const (
+	msgHello     byte = 0x01 // coordinator → worker: helloMsg
+	msgHelloOK   byte = 0x02 // worker → coordinator: helloMsg
+	msgIngest    byte = 0x03 // coordinator → worker: response batch
+	msgIngestOK  byte = 0x04 // worker → coordinator: running response total
+	msgPullStats byte = 0x05 // coordinator → worker: empty
+	msgStats     byte = 0x06 // worker → coordinator: EncodeStats payload
+	msgSweep     byte = 0x07 // coordinator → worker: sweepMsg
+	msgSweepOK   byte = 0x08 // worker → coordinator: replicate vectors
+	msgError     byte = 0x09 // worker → coordinator: UTF-8 failure text
+	msgPullTotal byte = 0x0a // coordinator → worker: empty; replied msgIngestOK
+)
+
+// maxFrame bounds a frame payload (type byte included): the pairwise
+// counter triangle grows quadratically, so 64 MiB carries crowds up to
+// roughly eight thousand workers — past every deployment this protocol
+// targets — while keeping a corrupt length prefix from making a peer
+// allocate unbounded memory. A worker whose statistics outgrow it replies
+// msgError rather than dropping the connection.
+const maxFrame = 1 << 26
+
+// errFrameTooBig tags send-side frame-cap violations, so a worker can
+// distinguish "my reply is too large" (report it) from a broken pipe
+// (hang up).
+var errFrameTooBig = errors.New("dist: frame exceeds limit")
+
+// Conn is one framed, bidirectional coordinator↔worker byte stream. The
+// same frame codec runs over every transport; TCP and the in-process pipe
+// differ only in the underlying ReadWriteCloser. A Conn is not safe for
+// concurrent use by itself — the coordinator serializes request/response
+// round-trips per connection, and a worker serves each connection from one
+// goroutine.
+type Conn struct {
+	rw io.ReadWriteCloser
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConn frames an arbitrary byte stream. The caller hands over ownership:
+// Close closes the underlying stream.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{rw: rw, br: bufio.NewReader(rw), bw: bufio.NewWriter(rw)}
+}
+
+// DialTCP connects to a crowdd worker listening on addr.
+func DialTCP(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// Frames are already write-buffered and flushed whole.
+		tc.SetNoDelay(true)
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	return NewConn(nc), nil
+}
+
+// Pipe returns two connected in-process conns: the transport tests and
+// single-process deployments use, with the exact frame codec the TCP path
+// runs.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+// send writes one frame and flushes it. An oversized body is rejected
+// before any bytes hit the wire, so the connection stays framed.
+func (c *Conn) send(msgType byte, body []byte) error {
+	if len(body)+1 > maxFrame {
+		return fmt.Errorf("%w: %d bytes (limit %d)", errFrameTooBig, len(body)+1, maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+1))
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := c.bw.WriteByte(msgType); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(body); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// recv reads one frame, enforcing the length cap before allocating.
+func (c *Conn) recv() (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrCodec)
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrCodec, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	return payload[0], payload[1:], nil
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// roundTrip sends a request and reads the reply, converting a worker-side
+// msgError into a Go error.
+func (c *Conn) roundTrip(msgType byte, body []byte) (byte, []byte, error) {
+	if err := c.send(msgType, body); err != nil {
+		return 0, nil, err
+	}
+	replyType, reply, err := c.recv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if replyType == msgError {
+		return 0, nil, fmt.Errorf("dist: worker error: %s", reply)
+	}
+	return replyType, reply, nil
+}

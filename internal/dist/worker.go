@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"crowdassess/internal/core"
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/eval"
+)
+
+// WorkerOptions configures a worker node.
+type WorkerOptions struct {
+	// Workers is the crowd size — the worker-index space of the responses
+	// this node will ingest. Every node and the coordinator must agree on
+	// it; the handshake enforces that. Required, at least 3.
+	Workers int
+	// Shards is the node's local task-stripe shard count for concurrent
+	// ingestion (0 selects GOMAXPROCS).
+	Shards int
+}
+
+// WorkerStats is a point-in-time snapshot for health/stats endpoints.
+type WorkerStats struct {
+	Workers     int           `json:"workers"`
+	Shards      int           `json:"shards"`
+	Tasks       int           `json:"tasks"`
+	Responses   int           `json:"responses"`
+	Connections int           `json:"connections"`
+	Uptime      time.Duration `json:"uptime_ns"`
+}
+
+// Worker is one node of a distributed deployment: it owns a
+// core.ShardedIncremental over the task slice the coordinator routes to
+// it, serves statistics pulls from its live counters, and computes
+// replicate ranges of distributed sweeps. Connections are served
+// concurrently; the underlying evaluator's Add is already safe across
+// goroutines, so two coordinaton connections (or one coordinator's
+// concurrent batches) never corrupt state.
+type Worker struct {
+	opts  WorkerOptions
+	inc   *core.ShardedIncremental
+	start time.Time
+
+	mu        sync.Mutex
+	closed    bool
+	listeners map[net.Listener]struct{}
+	// conns maps each live connection to its serving lock: held while a
+	// request is being handled and replied to, and taken by Close before
+	// closing the connection — so a reply that started is fully written
+	// before the stream goes away.
+	conns map[*Conn]*sync.Mutex
+	wg    sync.WaitGroup
+}
+
+// NewWorker returns an idle worker node; connect it to a coordinator with
+// Serve (TCP) or SelfConn (in-process).
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Shards == 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	inc, err := core.NewShardedIncremental(opts.Workers, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{
+		opts:      opts,
+		inc:       inc,
+		start:     time.Now(),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*Conn]*sync.Mutex),
+	}, nil
+}
+
+// Stats snapshots the node for health endpoints.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	conns := len(w.conns)
+	w.mu.Unlock()
+	return WorkerStats{
+		Workers:     w.opts.Workers,
+		Shards:      w.opts.Shards,
+		Tasks:       w.inc.Tasks(),
+		Responses:   w.inc.Responses(),
+		Connections: conns,
+		Uptime:      time.Since(w.start),
+	}
+}
+
+// Evaluator exposes the node's local evaluator, for deployments that also
+// want node-local intervals (they cover only this node's task slice).
+func (w *Worker) Evaluator() *core.ShardedIncremental { return w.inc }
+
+// Serve accepts and serves connections until the listener fails or Close
+// runs. It returns nil after a graceful Close.
+func (w *Worker) Serve(l net.Listener) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		l.Close()
+		return errors.New("dist: worker is closed")
+	}
+	w.listeners[l] = struct{}{}
+	w.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			delete(w.listeners, l)
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		conn := NewConn(nc)
+		serving, ok := w.track(conn)
+		if !ok {
+			conn.Close()
+			return nil
+		}
+		go func() {
+			defer w.wg.Done()
+			defer w.untrack(conn)
+			w.serveConn(conn, serving)
+		}()
+	}
+}
+
+// SelfConn returns the coordinator end of a new in-process connection to
+// this worker, served on its own goroutine — the in-process transport.
+func (w *Worker) SelfConn() (*Conn, error) {
+	local, remote := Pipe()
+	serving, ok := w.track(remote)
+	if !ok {
+		local.Close()
+		remote.Close()
+		return nil, errors.New("dist: worker is closed")
+	}
+	go func() {
+		defer w.wg.Done()
+		defer w.untrack(remote)
+		w.serveConn(remote, serving)
+	}()
+	return local, nil
+}
+
+// track registers a connection, its serving lock and its wait-group slot
+// under one critical section, so Close's wg.Wait always covers every
+// tracked connection's goroutine.
+func (w *Worker) track(c *Conn) (*sync.Mutex, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, false
+	}
+	serving := new(sync.Mutex)
+	w.conns[c] = serving
+	w.wg.Add(1)
+	return serving, true
+}
+
+func (w *Worker) untrack(c *Conn) {
+	w.mu.Lock()
+	delete(w.conns, c)
+	w.mu.Unlock()
+	c.Close()
+}
+
+// Close stops accepting, drains every live connection and waits for the
+// per-connection goroutines to exit. A request whose handling has begun
+// completes — its reply is fully written before the connection is closed
+// (Close takes each connection's serving lock first). A request that
+// arrives while shutdown is racing its recv may instead observe the
+// connection closing; the coordinator sees a clean connection error, never
+// a half-written frame.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	for l := range w.listeners {
+		l.Close()
+	}
+	conns := make(map[*Conn]*sync.Mutex, len(w.conns))
+	for c, serving := range w.conns {
+		conns[c] = serving
+	}
+	w.mu.Unlock()
+	for c, serving := range conns {
+		serving.Lock()
+		c.Close()
+		serving.Unlock()
+	}
+	w.wg.Wait()
+	return nil
+}
+
+// serveConn answers one connection's requests until it drops. Request
+// handling errors are replied as msgError frames and the connection stays
+// up; only transport failures end the loop. The serving lock is held from
+// dispatch through reply, which is what lets Close drain instead of
+// cutting a reply mid-frame.
+func (w *Worker) serveConn(c *Conn, serving *sync.Mutex) {
+	for {
+		msgType, body, err := c.recv()
+		if err != nil {
+			return // connection closed or broken; nothing to reply to
+		}
+		serving.Lock()
+		ok := w.reply(c, msgType, body)
+		serving.Unlock()
+		if !ok {
+			return
+		}
+	}
+}
+
+// reply handles one request and writes its response, reporting whether the
+// connection is still usable.
+func (w *Worker) reply(c *Conn, msgType byte, body []byte) bool {
+	replyType, reply, err := w.handle(msgType, body)
+	if err != nil {
+		replyType, reply = msgError, []byte(err.Error())
+	}
+	if err := c.send(replyType, reply); err != nil {
+		// A reply that outgrew the frame cap (a statistics export past
+		// maxFrame) never touched the wire; report it instead of hanging
+		// up, so the coordinator sees the cause, not an EOF.
+		if errors.Is(err, errFrameTooBig) {
+			return c.send(msgError, []byte(err.Error())) == nil
+		}
+		return false
+	}
+	return true
+}
+
+// handle dispatches one request to its reply.
+func (w *Worker) handle(msgType byte, body []byte) (byte, []byte, error) {
+	switch msgType {
+	case msgHello:
+		m, err := decodeHello(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		if m.Version != ProtocolVersion {
+			return 0, nil, fmt.Errorf("dist: protocol version %d not supported (worker speaks %d)", m.Version, ProtocolVersion)
+		}
+		if m.Workers != w.opts.Workers {
+			return 0, nil, fmt.Errorf("dist: coordinator expects %d crowd workers, node is configured for %d", m.Workers, w.opts.Workers)
+		}
+		return msgHelloOK, encodeHello(helloMsg{Version: ProtocolVersion, Workers: w.opts.Workers, Shards: w.opts.Shards}), nil
+
+	case msgIngest:
+		batch, err := decodeIngest(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		for _, s := range batch {
+			if err := w.inc.Add(s.Worker, s.Task, crowd.Response(s.Answer)); err != nil {
+				// The batch stops at the first rejected response. Earlier
+				// responses are already ingested; the coordinator reports
+				// the failure to its caller, matching the local evaluator's
+				// per-Add error contract.
+				return 0, nil, err
+			}
+		}
+		return msgIngestOK, encodeTotal(w.inc.Responses()), nil
+
+	case msgPullStats:
+		payload, err := EncodeStats(w.inc.ExportStats())
+		if err != nil {
+			return 0, nil, err
+		}
+		return msgStats, payload, nil
+
+	case msgPullTotal:
+		return msgIngestOK, encodeTotal(w.inc.Responses()), nil
+
+	case msgSweep:
+		m, err := decodeSweep(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		spec := eval.SweepSpec{
+			Kernel:     m.Kernel,
+			Workers:    m.Workers,
+			Tasks:      m.Tasks,
+			Density:    m.Density,
+			Replicates: m.Replicates,
+			Seed:       m.Seed,
+		}
+		vectors, err := eval.SweepReplicates(spec, m.Lo, m.Hi, m.Parallel)
+		if err != nil {
+			return 0, nil, err
+		}
+		return msgSweepOK, encodeVectors(vectors), nil
+	}
+	return 0, nil, fmt.Errorf("dist: unknown message type 0x%02x", msgType)
+}

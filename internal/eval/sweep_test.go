@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testSpec(kernel string, reps int) SweepSpec {
+	return SweepSpec{Kernel: kernel, Workers: 5, Tasks: 60, Density: 0.8, Replicates: reps, Seed: 11}
+}
+
+// TestSweepRangeSplitExact is the distribution contract: replicate vectors
+// computed over split index ranges reassemble bit-identically to a full
+// local run, and reducing them yields the same Result.
+func TestSweepRangeSplitExact(t *testing.T) {
+	const reps = 12
+	for _, kernel := range SweepKernels() {
+		spec := testSpec(kernel, reps)
+		full, err := SweepReplicates(spec, 0, reps, false)
+		if err != nil {
+			t.Fatalf("%s: %v", kernel, err)
+		}
+		if len(full) != reps {
+			t.Fatalf("%s: %d vectors, want %d", kernel, len(full), reps)
+		}
+		// Uneven three-way split, as a coordinator with three workers of
+		// different speeds would issue.
+		var reassembled [][]float64
+		for _, r := range [][2]int{{0, 5}, {5, 6}, {6, reps}} {
+			part, err := SweepReplicates(spec, r[0], r[1], false)
+			if err != nil {
+				t.Fatalf("%s range %v: %v", kernel, r, err)
+			}
+			reassembled = append(reassembled, part...)
+		}
+		if !reflect.DeepEqual(reassembled, full) {
+			t.Fatalf("%s: split ranges do not reassemble to the full run", kernel)
+		}
+
+		want, err := RunSweep(spec, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReduceSweep(spec, reassembled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: reduced split result differs from local RunSweep", kernel)
+		}
+		for _, p := range got.Series[0].Points {
+			if math.IsNaN(p.Y) || p.Y < 0 {
+				t.Fatalf("%s: implausible point %+v", kernel, p)
+			}
+			if kernel == SweepCoverage && p.Y > 1 {
+				t.Fatalf("coverage above 1: %+v", p)
+			}
+		}
+	}
+}
+
+// TestSweepParallelIdentical: the in-process parallel fan-out returns the
+// same vectors as the serial loop.
+func TestSweepParallelIdentical(t *testing.T) {
+	spec := testSpec(SweepWidth, 8)
+	serial, err := SweepReplicates(spec, 0, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepReplicates(spec, 0, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel sweep vectors differ from serial")
+	}
+}
+
+// TestSweepValidate rejects malformed specs and ranges.
+func TestSweepValidate(t *testing.T) {
+	bad := []SweepSpec{
+		{Kernel: "nope"},
+		{Kernel: SweepWidth, Workers: 2},
+		{Kernel: SweepWidth, Tasks: -1},
+		{Kernel: SweepWidth, Density: 1.5},
+		{Kernel: SweepWidth, Density: -0.1},
+		{Kernel: SweepWidth, Density: math.NaN()},
+		{Kernel: SweepCoverage, Replicates: -3},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", s)
+		}
+	}
+	spec := testSpec(SweepWidth, 4)
+	if _, err := SweepReplicates(spec, 2, 6, false); err == nil {
+		t.Error("range beyond Replicates accepted")
+	}
+	if _, err := SweepReplicates(spec, -1, 2, false); err == nil {
+		t.Error("negative range accepted")
+	}
+	if _, err := ReduceSweep(spec, make([][]float64, 3)); err == nil {
+		t.Error("short vector set accepted")
+	}
+}
