@@ -1,0 +1,203 @@
+// Command benchdiff is the CI bench-regression gate: it compares a freshly
+// regenerated BENCH_*.json series against a baseline series and fails
+// (exit 1) when any experiment's throughput regressed beyond the
+// threshold.
+//
+// Usage:
+//
+//	benchdiff -base baseline/BENCH_2.json -new BENCH_2.json [-threshold 0.30]
+//	          [-min-seconds 0.01] [-ignore-hardware] [-inject-slowdown 1.5]
+//
+// Records match by experiment name. Throughput is ops_per_sec where the
+// series carries it (the ingestion and cluster benches) and 1/seconds
+// otherwise (the figure runners); either way the gate trips when the
+// candidate's throughput falls more than -threshold below the baseline's.
+//
+// Comparisons only count on comparable hardware: records whose gomaxprocs
+// differ are skipped (reported, not failed), because a committed series
+// measured on another machine says nothing about a regression on this one.
+// CI therefore regenerates the baseline and the candidate in the same job
+// on the same runner; -ignore-hardware overrides the check for manual
+// cross-machine eyeballing. Figure records faster than -min-seconds on
+// both sides are skipped as timer noise.
+//
+// -inject-slowdown multiplies the candidate's cost by the given factor
+// before comparing. It exists to prove the gate works: a CI step runs
+// benchdiff against identical series with -inject-slowdown 2 and requires
+// the exit code to be nonzero, so a silently broken gate fails the build
+// rather than waving regressions through.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+// record is the slice of the crowdbench JSON schema the gate reads;
+// unknown fields are ignored, so the schema can grow freely.
+type record struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+type options struct {
+	// Threshold is the fractional throughput loss that fails the gate
+	// (0.30 = fail when the candidate is >30% slower).
+	Threshold float64
+	// MinSeconds skips wall-clock records faster than this on both sides.
+	MinSeconds float64
+	// IgnoreHardware compares across differing gomaxprocs anyway.
+	IgnoreHardware bool
+	// Slowdown multiplies the candidate's cost before comparing (gate
+	// self-test; 1 = off).
+	Slowdown float64
+}
+
+// comparison is one experiment's verdict.
+type comparison struct {
+	Experiment string
+	Metric     string  // "ops/sec" or "1/seconds"
+	Base, New  float64 // throughput in the metric's unit
+	Delta      float64 // fractional throughput change; negative = slower
+	Skipped    string  // non-empty reason when not compared
+	Regressed  bool
+}
+
+// diff matches baseline and candidate records by experiment name and
+// scores each comparable pair.
+func diff(base, cand []record, opts options) []comparison {
+	slowdown := opts.Slowdown
+	if slowdown <= 0 {
+		slowdown = 1
+	}
+	candByName := make(map[string]record, len(cand))
+	for _, r := range cand {
+		candByName[r.Experiment] = r
+	}
+	var out []comparison
+	seen := make(map[string]bool, len(base))
+	for _, b := range base {
+		seen[b.Experiment] = true
+		c := comparison{Experiment: b.Experiment}
+		n, ok := candByName[b.Experiment]
+		if !ok {
+			c.Skipped = "not in candidate series"
+			out = append(out, c)
+			continue
+		}
+		if b.GoMaxProcs != n.GoMaxProcs && !opts.IgnoreHardware {
+			c.Skipped = fmt.Sprintf("hardware differs (gomaxprocs %d vs %d)", b.GoMaxProcs, n.GoMaxProcs)
+			out = append(out, c)
+			continue
+		}
+		switch {
+		case b.OpsPerSec > 0 && n.OpsPerSec > 0:
+			c.Metric = "ops/sec"
+			c.Base, c.New = b.OpsPerSec, n.OpsPerSec/slowdown
+		case b.Seconds > 0 && n.Seconds > 0:
+			if b.Seconds < opts.MinSeconds && n.Seconds < opts.MinSeconds {
+				c.Skipped = fmt.Sprintf("both sides under %v s (timer noise)", opts.MinSeconds)
+				out = append(out, c)
+				continue
+			}
+			c.Metric = "1/seconds"
+			c.Base, c.New = 1/b.Seconds, 1/(n.Seconds*slowdown)
+		default:
+			c.Skipped = "no usable metric"
+			out = append(out, c)
+			continue
+		}
+		c.Delta = c.New/c.Base - 1
+		c.Regressed = c.Delta < -opts.Threshold
+		out = append(out, c)
+	}
+	for _, n := range cand {
+		if !seen[n.Experiment] {
+			out = append(out, comparison{Experiment: n.Experiment, Skipped: "not in baseline series"})
+		}
+	}
+	return out
+}
+
+// report renders the verdict table and returns how many experiments
+// regressed and how many were actually compared.
+func report(w *tabwriter.Writer, comps []comparison) (regressed, compared int) {
+	fmt.Fprintln(w, "experiment\tmetric\tbaseline\tcandidate\tdelta\tverdict")
+	for _, c := range comps {
+		if c.Skipped != "" {
+			fmt.Fprintf(w, "%s\t—\t—\t—\t—\tskipped: %s\n", c.Experiment, c.Skipped)
+			continue
+		}
+		compared++
+		verdict := "ok"
+		if c.Regressed {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.4g\t%.4g\t%+.1f%%\t%s\n", c.Experiment, c.Metric, c.Base, c.New, 100*c.Delta, verdict)
+	}
+	return regressed, compared
+}
+
+func readSeries(path string) ([]record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []record
+	if err := json.Unmarshal(b, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return records, nil
+}
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "baseline BENCH_*.json series (required)")
+		newPath   = flag.String("new", "", "candidate BENCH_*.json series (required)")
+		threshold = flag.Float64("threshold", 0.30, "fractional throughput loss that fails the gate")
+		minSec    = flag.Float64("min-seconds", 0.01, "skip wall-clock records faster than this on both sides")
+		ignoreHW  = flag.Bool("ignore-hardware", false, "compare records even when gomaxprocs differ")
+		slowdown  = flag.Float64("inject-slowdown", 1, "multiply the candidate's cost by this factor (gate self-test)")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readSeries(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := readSeries(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	comps := diff(base, cand, options{
+		Threshold:      *threshold,
+		MinSeconds:     *minSec,
+		IgnoreHardware: *ignoreHW,
+		Slowdown:       *slowdown,
+	})
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	regressed, compared := report(w, comps)
+	w.Flush()
+	switch {
+	case regressed > 0:
+		fmt.Printf("benchdiff: FAIL — %d of %d compared experiments regressed more than %.0f%%\n",
+			regressed, compared, 100**threshold)
+		os.Exit(1)
+	case compared == 0:
+		fmt.Println("benchdiff: nothing comparable (hardware mismatch or disjoint series); gate passes vacuously")
+	default:
+		fmt.Printf("benchdiff: ok — %d experiments within %.0f%% of baseline throughput\n", compared, 100**threshold)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"text/tabwriter"
+)
+
+func opts() options { return options{Threshold: 0.30, MinSeconds: 0.01} }
+
+func one(comps []comparison, t *testing.T) comparison {
+	t.Helper()
+	if len(comps) != 1 {
+		t.Fatalf("got %d comparisons, want 1: %+v", len(comps), comps)
+	}
+	return comps[0]
+}
+
+func TestSecondsRegressionTripsGate(t *testing.T) {
+	base := []record{{Experiment: "fig3", Seconds: 1.0, GoMaxProcs: 4}}
+	slower := []record{{Experiment: "fig3", Seconds: 1.5, GoMaxProcs: 4}}
+	c := one(diff(base, slower, opts()), t)
+	if !c.Regressed {
+		t.Fatalf("50%% slower run passed the 30%% gate: %+v", c)
+	}
+	// 25% slower is within the 30% throughput-loss budget (1/1.25 = 0.8).
+	within := []record{{Experiment: "fig3", Seconds: 1.25, GoMaxProcs: 4}}
+	if c := one(diff(base, within, opts()), t); c.Regressed {
+		t.Fatalf("25%% slower run failed the 30%% gate: %+v", c)
+	}
+}
+
+func TestOpsPerSecRegressionTripsGate(t *testing.T) {
+	base := []record{{Experiment: "ingest/shards=4", Seconds: 0.5, OpsPerSec: 1e6, GoMaxProcs: 4}}
+	slower := []record{{Experiment: "ingest/shards=4", Seconds: 0.5, OpsPerSec: 6.5e5, GoMaxProcs: 4}}
+	c := one(diff(base, slower, opts()), t)
+	if c.Metric != "ops/sec" {
+		t.Fatalf("ops_per_sec records must gate on throughput, got %q", c.Metric)
+	}
+	if !c.Regressed {
+		t.Fatalf("35%% throughput drop passed the gate: %+v", c)
+	}
+	faster := []record{{Experiment: "ingest/shards=4", Seconds: 0.5, OpsPerSec: 2e6, GoMaxProcs: 4}}
+	if c := one(diff(base, faster, opts()), t); c.Regressed {
+		t.Fatalf("speedup flagged as regression: %+v", c)
+	}
+}
+
+func TestHardwareMismatchSkips(t *testing.T) {
+	base := []record{{Experiment: "fig3", Seconds: 1.0, GoMaxProcs: 1}}
+	cand := []record{{Experiment: "fig3", Seconds: 10.0, GoMaxProcs: 8}}
+	c := one(diff(base, cand, opts()), t)
+	if c.Skipped == "" || c.Regressed {
+		t.Fatalf("cross-hardware records must be skipped, not judged: %+v", c)
+	}
+	o := opts()
+	o.IgnoreHardware = true
+	if c := one(diff(base, cand, o), t); !c.Regressed {
+		t.Fatalf("-ignore-hardware should compare anyway: %+v", c)
+	}
+}
+
+func TestTinyTimingsSkipAsNoise(t *testing.T) {
+	base := []record{{Experiment: "fig2c", Seconds: 0.002, GoMaxProcs: 4}}
+	cand := []record{{Experiment: "fig2c", Seconds: 0.004, GoMaxProcs: 4}}
+	c := one(diff(base, cand, opts()), t)
+	if c.Skipped == "" {
+		t.Fatalf("sub-10ms figure timings must be skipped as noise: %+v", c)
+	}
+}
+
+func TestDisjointSeriesSkip(t *testing.T) {
+	base := []record{{Experiment: "old", Seconds: 1, GoMaxProcs: 4}}
+	cand := []record{{Experiment: "new", Seconds: 1, GoMaxProcs: 4}}
+	comps := diff(base, cand, opts())
+	if len(comps) != 2 || comps[0].Skipped == "" || comps[1].Skipped == "" {
+		t.Fatalf("disjoint series must be reported as skips: %+v", comps)
+	}
+}
+
+// TestInjectedSlowdownFailsIdenticalSeries is the gate's self-test: the CI
+// step that runs benchdiff with -inject-slowdown on identical series must
+// fail, proving the gate actually bites.
+func TestInjectedSlowdownFailsIdenticalSeries(t *testing.T) {
+	series := []record{
+		{Experiment: "fig3", Seconds: 1.2, GoMaxProcs: 4},
+		{Experiment: "ingest/shards=2", Seconds: 0.5, OpsPerSec: 2e6, GoMaxProcs: 4},
+	}
+	o := opts()
+	if comps := diff(series, series, o); len(comps) != 2 {
+		t.Fatalf("want 2 comparisons, got %+v", comps)
+	} else {
+		for _, c := range comps {
+			if c.Regressed || c.Skipped != "" {
+				t.Fatalf("identical series must pass: %+v", c)
+			}
+		}
+	}
+	o.Slowdown = 2
+	regressions := 0
+	for _, c := range diff(series, series, o) {
+		if c.Regressed {
+			regressions++
+		}
+	}
+	if regressions != 2 {
+		t.Fatalf("injected 2x slowdown tripped %d of 2 comparisons", regressions)
+	}
+}
+
+func TestReportCounts(t *testing.T) {
+	comps := []comparison{
+		{Experiment: "a", Metric: "1/seconds", Base: 1, New: 0.5, Delta: -0.5, Regressed: true},
+		{Experiment: "b", Metric: "1/seconds", Base: 1, New: 1, Delta: 0},
+		{Experiment: "c", Skipped: "not in candidate series"},
+	}
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	regressed, compared := report(w, comps)
+	w.Flush()
+	if regressed != 1 || compared != 2 {
+		t.Fatalf("report counted %d regressed / %d compared, want 1/2", regressed, compared)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "skipped: not in candidate series") {
+		t.Fatalf("report output missing verdicts:\n%s", out)
+	}
+}

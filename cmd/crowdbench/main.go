@@ -459,19 +459,27 @@ func runDist(nodeList string, shardsPerNode, workers, tasks, goroutines int, see
 	return records, nil
 }
 
-// writeBenchJSON records the timing trajectory for tooling.
+// writeBenchJSON records the timing trajectory for tooling. The write is
+// atomic — encode to a temp file in the target directory, then rename —
+// so an interrupted run can never truncate a committed BENCH_*.json: the
+// previous series survives intact until the new one is fully written.
 func writeBenchJSON(path string, records []benchRecord) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(records); err != nil {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // openOutput resolves the output destination: stdout when no -o is given,

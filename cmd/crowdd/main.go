@@ -6,11 +6,21 @@
 // Usage:
 //
 //	crowdd -listen :7333 -workers 64 [-shards 8] [-health :8333]
+//	       [-checkpoint /var/lib/crowdd/node.ckpt] [-checkpoint-interval 1m]
 //
 // -workers is the crowd size (the worker-index space of the responses this
 // node ingests); every node of a cluster and its coordinator must agree on
 // it, and the protocol handshake enforces that. -shards sets the node's
 // local task-stripe count for concurrent ingestion (default GOMAXPROCS).
+//
+// With -checkpoint, the daemon is restartable without losing its task
+// slice: the snapshot file is reloaded on start (a missing file is a fresh
+// start; a corrupt one refuses to start rather than serve skewed
+// statistics), rewritten atomically every -checkpoint-interval, and
+// written one final time during graceful shutdown — after the listener has
+// drained, so the snapshot captures every acknowledged response. Writes go
+// through a temp file and rename; a crash mid-write never truncates the
+// previous checkpoint.
 //
 // With -health, the daemon serves:
 //
@@ -19,16 +29,18 @@
 //	               live coordinator connections, uptime
 //
 // On SIGINT/SIGTERM the daemon stops accepting, closes coordinator
-// connections after their in-flight request finishes, shuts the health
-// endpoint down, and exits 0 — a graceful drain, so a coordinator never
-// observes a half-written frame.
+// connections after their in-flight request finishes, writes the final
+// checkpoint, shuts the health endpoint down, and exits 0 — a graceful
+// drain, so a coordinator never observes a half-written frame.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -41,25 +53,59 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", ":7333", "TCP address to serve the dist protocol on")
-		nwork  = flag.Int("workers", 0, "crowd size (required; must match the coordinator)")
-		shards = flag.Int("shards", 0, "local task-stripe shards for concurrent ingestion (0 = GOMAXPROCS)")
-		health = flag.String("health", "", "optional HTTP address for /healthz and /statsz")
+		listen    = flag.String("listen", ":7333", "TCP address to serve the dist protocol on")
+		nwork     = flag.Int("workers", 0, "crowd size (required; must match the coordinator)")
+		shards    = flag.Int("shards", 0, "local task-stripe shards for concurrent ingestion (0 = GOMAXPROCS)")
+		health    = flag.String("health", "", "optional HTTP address for /healthz and /statsz")
+		ckpt      = flag.String("checkpoint", "", "snapshot file: reloaded on start, rewritten atomically on shutdown and every -checkpoint-interval")
+		ckptEvery = flag.Duration("checkpoint-interval", time.Minute, "how often to rewrite the -checkpoint snapshot (0 disables periodic writes)")
 	)
 	flag.Parse()
-	if err := run(*listen, *nwork, *shards, *health); err != nil {
+	if err := run(*listen, *nwork, *shards, *health, *ckpt, *ckptEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "crowdd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, workers, shards int, health string) error {
+// loadCheckpoint restores the worker from a snapshot file. A missing file
+// is a fresh start (-1); a corrupt or inconsistent one is a hard error —
+// serving with silently lost statistics would poison every merge.
+func loadCheckpoint(worker *dist.Worker, path string) (int, error) {
+	snap, err := dist.ReadSnapshot(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return -1, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := worker.Restore(snap); err != nil {
+		return 0, fmt.Errorf("restoring checkpoint %s: %w", path, err)
+	}
+	return snap.Stats.Responses, nil
+}
+
+// saveCheckpoint snapshots the worker (a consistent cut, safe under live
+// ingestion) and writes it atomically.
+func saveCheckpoint(worker *dist.Worker, path string) error {
+	return dist.WriteSnapshot(path, worker.Snapshot())
+}
+
+func run(listen string, workers, shards int, health, ckpt string, ckptEvery time.Duration) error {
 	if workers == 0 {
 		return fmt.Errorf("-workers is required")
 	}
-	worker, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shards})
+	worker, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shards, Name: listen})
 	if err != nil {
 		return err
+	}
+	if ckpt != "" {
+		restored, err := loadCheckpoint(worker, ckpt)
+		if err != nil {
+			return err
+		}
+		if restored >= 0 {
+			fmt.Fprintf(os.Stderr, "crowdd: restored %d responses from %s\n", restored, ckpt)
+		}
 	}
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -87,25 +133,68 @@ func run(listen string, workers, shards int, health string) error {
 		fmt.Fprintf(os.Stderr, "crowdd: health endpoint on %s\n", health)
 	}
 
+	// Periodic checkpoints while serving; the final authoritative write
+	// happens after the drain below.
+	stopTicker := make(chan struct{})
+	tickerDone := make(chan struct{})
+	if ckpt != "" && ckptEvery > 0 {
+		go func() {
+			defer close(tickerDone)
+			tick := time.NewTicker(ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := saveCheckpoint(worker, ckpt); err != nil {
+						fmt.Fprintf(os.Stderr, "crowdd: checkpoint: %v\n", err)
+					}
+				case <-stopTicker:
+					return
+				}
+			}
+		}()
+	} else {
+		close(tickerDone)
+	}
+
 	// Serve until a shutdown signal, then drain gracefully.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- worker.Serve(l) }()
 
+	// shutdown drains connections, writes the final checkpoint from the
+	// quiescent state, and tears the health endpoint down.
+	shutdown := func() error {
+		close(stopTicker)
+		<-tickerDone
+		worker.Close() // stops the listener; Serve returns nil on graceful close
+		var err error
+		if ckpt != "" {
+			if err = saveCheckpoint(worker, ckpt); err != nil {
+				err = fmt.Errorf("final checkpoint: %w", err)
+			}
+		}
+		shutdownHealth(healthSrv)
+		return err
+	}
+
 	select {
 	case err := <-serveErr:
-		worker.Close()
-		shutdownHealth(healthSrv)
+		if ckptErr := shutdown(); err == nil {
+			err = ckptErr
+		}
 		return err
 	case <-ctx.Done():
 	}
 	stats := worker.Stats()
 	fmt.Fprintf(os.Stderr, "crowdd: shutting down after %v (%d responses over %d tasks)\n",
 		stats.Uptime.Round(time.Millisecond), stats.Responses, stats.Tasks)
-	worker.Close() // stops the listener; Serve returns nil on graceful close
-	shutdownHealth(healthSrv)
-	return <-serveErr
+	err = shutdown()
+	if serveRes := <-serveErr; err == nil {
+		err = serveRes
+	}
+	return err
 }
 
 func shutdownHealth(srv *http.Server) {

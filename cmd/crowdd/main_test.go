@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/dist"
+)
+
+func newTestWorker(t *testing.T) *dist.Worker {
+	t.Helper()
+	w, err := dist.NewWorker(dist.WorkerOptions{Workers: 5, Shards: 2, Name: ":7333"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// TestCheckpointLifecycle drives the daemon's restart story at the helper
+// level: ingest, save, restart into a fresh worker, and the restored
+// node's snapshot is byte-identical to the one on disk.
+func TestCheckpointLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.ckpt")
+
+	w := newTestWorker(t)
+	// Missing file: fresh start, not an error.
+	if n, err := loadCheckpoint(w, path); err != nil || n != -1 {
+		t.Fatalf("load of missing checkpoint: n=%d err=%v, want -1, nil", n, err)
+	}
+	for task := 0; task < 40; task++ {
+		for crowdWorker := 0; crowdWorker < 5; crowdWorker++ {
+			if (task+crowdWorker)%3 == 0 {
+				continue
+			}
+			if err := w.Evaluator().Add(crowdWorker, task, crowd.Response(1+crowdassessResponse(crowdWorker, task))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := saveCheckpoint(w, path); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := newTestWorker(t)
+	n, err := loadCheckpoint(restarted, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := w.Evaluator().Responses(); n != want {
+		t.Fatalf("restored %d responses, want %d", n, want)
+	}
+	want, err := dist.EncodeSnapshot(w.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dist.EncodeSnapshot(restarted.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("restarted worker's snapshot differs from the original")
+	}
+
+	// Saving over an existing checkpoint is atomic and idempotent.
+	if err := saveCheckpoint(restarted, path); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, want) {
+		t.Fatal("re-saved checkpoint differs from the original")
+	}
+}
+
+// crowdassessResponse deterministically picks a binary answer (0 or 1,
+// offset to Yes/No by the caller).
+func crowdassessResponse(w, t int) int { return (w*31 + t*17) % 2 }
+
+// TestCheckpointCorruptionRefusesStart: a daemon pointed at a damaged
+// checkpoint must refuse to start, not serve skewed statistics.
+func TestCheckpointCorruptionRefusesStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.ckpt")
+	w := newTestWorker(t)
+	if err := w.Evaluator().Add(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Evaluator().Add(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveCheckpoint(w, path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x20
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := newTestWorker(t)
+	if _, err := loadCheckpoint(fresh, path); err == nil || !strings.Contains(err.Error(), "ckpt") {
+		t.Fatalf("corrupt checkpoint load: %v", err)
+	}
+}

@@ -249,6 +249,19 @@ type (
 	DistConn = dist.Conn
 	// DistResponse is one crowd submission routed through a coordinator.
 	DistResponse = dist.Response
+	// DistSnapshot is one node's checkpoint: statistics plus the response
+	// log behind them, restorable byte-identically.
+	DistSnapshot = dist.Snapshot
+	// ClusterEvaluator adapts a coordinator to the streaming-evaluator
+	// interface (buffered Add, merged evaluation).
+	ClusterEvaluator = dist.ClusterEvaluator
+)
+
+// Replica-failure sentinels: a slice with no live replica left, and
+// replicas of one slice disagreeing on their statistics.
+var (
+	ErrNoReplica  = dist.ErrNoReplica
+	ErrDivergence = dist.ErrDivergence
 )
 
 // NewDistributedEvaluator connects to crowdd worker daemons at the given
@@ -310,6 +323,35 @@ func DialDistWorker(addr string) (*DistConn, error) {
 // ownership of the connections.
 func NewDistributedCluster(workers int, conns []*DistConn) (*DistributedEvaluator, error) {
 	return dist.NewCoordinator(workers, conns)
+}
+
+// NewReplicatedCluster builds a fault-tolerant coordinator: groups[i] is
+// the replica set jointly owning task slice i. Every batch fans out to all
+// live replicas of its slice and statistics pulls are validated across
+// them, so a node can die — and be replaced with RestoreNode — without
+// the slice losing a response. The coordinator takes ownership of all
+// connections.
+func NewReplicatedCluster(workers int, groups [][]*DistConn) (*DistributedEvaluator, error) {
+	return dist.NewReplicatedCoordinator(workers, groups)
+}
+
+// NewClusterEvaluator adapts a cluster coordinator to the streaming
+// evaluator interface: buffered batched Add, evaluation via pull + exact
+// merge. batch ≤ 0 selects the default buffer size.
+func NewClusterEvaluator(coord *DistributedEvaluator, batch int) *ClusterEvaluator {
+	return dist.NewClusterEvaluator(coord, batch)
+}
+
+// WriteDistSnapshot atomically persists a node checkpoint (temp file +
+// rename; a crash never truncates an existing checkpoint).
+func WriteDistSnapshot(path string, s *DistSnapshot) error {
+	return dist.WriteSnapshot(path, s)
+}
+
+// ReadDistSnapshot loads and validates a checkpoint file (magic, version,
+// checksum, statistics/log consistency).
+func ReadDistSnapshot(path string) (*DistSnapshot, error) {
+	return dist.ReadSnapshot(path)
 }
 
 // Distributed replicate sweeps: experiment replicates partitioned across
@@ -413,6 +455,17 @@ func NewPool(workers int, policy PoolPolicy) (*Pool, error) {
 // are identical to NewPool's on the same responses.
 func NewShardedPool(workers, shards int, policy PoolPolicy) (*Pool, error) {
 	return pool.NewShardedManager(workers, shards, policy)
+}
+
+// NewDistributedPool creates a worker pool whose statistics live on a
+// cluster: Record buffers responses into batched ingest fan-outs and
+// Review pulls every node's statistics through the exact integer merge, so
+// review and exclusion decisions are bit-identical to NewShardedPool fed
+// the same responses — the pool-management layer runs against a cluster
+// unchanged. batch ≤ 0 selects the default Record buffer size; remote
+// rejections (duplicates) surface at the flush that carries them.
+func NewDistributedPool(coord *DistributedEvaluator, batch int, policy PoolPolicy) (*Pool, error) {
+	return pool.NewManagerWith(dist.NewClusterEvaluator(coord, batch), policy)
 }
 
 // DefaultPoolPolicy returns the default decision bars.

@@ -107,3 +107,96 @@ func TestDistributedSweepFacade(t *testing.T) {
 		t.Fatalf("distributed sweep differs from local:\n got %+v\nwant %+v", got, want)
 	}
 }
+
+// TestDistributedPoolFacade runs the pool lifecycle end to end through the
+// public API against a replicated in-process cluster, with a mid-stream
+// node replacement: decisions must match the local sharded pool exactly.
+func TestDistributedPoolFacade(t *testing.T) {
+	const workers, tasks = 7, 220
+	ds, _ := buildCrowd(t, 47, workers, tasks, 0.75)
+	policy := crowdassess.DefaultPoolPolicy()
+
+	// Two slices, two replicas each.
+	grid := make([][]*crowdassess.DistWorker, 2)
+	groups := make([][]*crowdassess.DistConn, 2)
+	for si := range groups {
+		grid[si] = make([]*crowdassess.DistWorker, 2)
+		groups[si] = make([]*crowdassess.DistConn, 2)
+		for ri := range groups[si] {
+			w, err := crowdassess.NewDistWorker(crowdassess.DistWorkerOptions{Workers: workers, Shards: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+			grid[si][ri] = w
+			if groups[si][ri], err = w.SelfConn(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	coord, err := crowdassess.NewReplicatedCluster(workers, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	clusterPool, err := crowdassess.NewDistributedPool(coord, 16, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localPool, err := crowdassess.NewShardedPool(workers, 3, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	record := func(from, to int) {
+		t.Helper()
+		for task := from; task < to; task++ {
+			for w := 0; w < workers; w++ {
+				if !ds.Attempted(w, task) {
+					continue
+				}
+				errL := localPool.Record(w, task, ds.Response(w, task))
+				errC := clusterPool.Record(w, task, ds.Response(w, task))
+				if (errL == nil) != (errC == nil) {
+					t.Fatalf("task %d worker %d: record %v locally vs %v on cluster", task, w, errL, errC)
+				}
+			}
+		}
+	}
+
+	record(0, tasks/2)
+	// Kill one replica and seed a replacement from its survivor, mid-pool.
+	if err := grid[0][0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	replacement, err := crowdassess.NewDistWorker(crowdassess.DistWorkerOptions{Workers: workers, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replacement.Close()
+	conn, err := replacement.SelfConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.RestoreNode(0, conn, nil); err != nil {
+		t.Fatal(err)
+	}
+	record(tasks/2, tasks)
+
+	wantDecisions, err := localPool.Review()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDecisions, err := clusterPool.Review()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotDecisions, wantDecisions) {
+		t.Fatalf("cluster pool decisions differ:\n got %+v\nwant %+v", gotDecisions, wantDecisions)
+	}
+	for w := 0; w < workers; w++ {
+		if localPool.State(w) != clusterPool.State(w) {
+			t.Fatalf("worker %d: state %v on cluster vs %v locally", w, clusterPool.State(w), localPool.State(w))
+		}
+	}
+}

@@ -312,10 +312,7 @@ func snapshotDataset(workers, tasks, arity int, responseMaps ...map[int][]worker
 // accumulated responses, so streaming deployments can run the paper's
 // spammer screen without materializing a snapshot.
 func (inc *Incremental) MajorityDisagreement() []float64 {
-	attempted := make([]int, inc.workers)
-	disagree := make([]int, inc.workers)
-	tallyDisagreement(attempted, disagree, inc.taskResponses)
-	return disagreementRates(attempted, disagree)
+	return disagreementRates(inc.DisagreementCounts())
 }
 
 // tallyDisagreement accumulates per-worker attempted/disagree counts over

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"strings"
+	"testing"
+
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/randx"
+	"crowdassess/internal/sim"
+)
+
+// streamingFactory builds an empty evaluator of one of the two streaming
+// implementations, exposing the checkpoint hooks the dist layer uses.
+type checkpointable interface {
+	StreamingEvaluator
+	Checkpoint() (*StatsExport, []LoggedResponse)
+	RestoreStats(e *StatsExport, log []LoggedResponse) error
+	DisagreementCounts() (attempted, disagree []int)
+	ExportStats() *StatsExport
+}
+
+func checkpointFactories(t *testing.T, workers int) map[string]func() checkpointable {
+	t.Helper()
+	return map[string]func() checkpointable{
+		"incremental": func() checkpointable {
+			inc, err := NewIncremental(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return inc
+		},
+		"sharded": func() checkpointable {
+			s, err := NewShardedIncremental(workers, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+func restoreStream(t *testing.T, seed int64) []submission {
+	t.Helper()
+	src := randx.NewSource(900 + seed)
+	ds, _, err := sim.Binary{Tasks: 120, Workers: 7, Density: 0.6}.Generate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shuffledStream(t, ds, seed)
+}
+
+// TestCheckpointRestoreMidStream is the fault-tolerance property: cut the
+// stream at an arbitrary point (never aligned to task boundaries),
+// checkpoint, rebuild a fresh evaluator from the checkpoint, replay the
+// remainder, and require bit-identical estimates, disagreement screens and
+// duplicate rejection versus the uninterrupted evaluator.
+func TestCheckpointRestoreMidStream(t *testing.T) {
+	const workers = 7
+	opts := EvalOptions{Confidence: 0.9}
+	for name, mk := range checkpointFactories(t, workers) {
+		for seed := int64(0); seed < 3; seed++ {
+			subs := restoreStream(t, seed)
+			cut := len(subs) * (2 + int(seed)) / 7
+
+			uninterrupted := mk()
+			for _, s := range subs {
+				if err := uninterrupted.Add(s.w, s.t, s.r); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			first := mk()
+			for _, s := range subs[:cut] {
+				if err := first.Add(s.w, s.t, s.r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e, log := first.Checkpoint()
+			if len(log) != cut || e.Responses != cut {
+				t.Fatalf("%s seed %d: checkpoint carries %d/%d responses, want %d", name, seed, len(log), e.Responses, cut)
+			}
+
+			restored := mk()
+			if err := restored.RestoreStats(e, log); err != nil {
+				t.Fatalf("%s seed %d: restore: %v", name, seed, err)
+			}
+			// The restored evaluator rejects duplicates of pre-cut responses.
+			if err := restored.Add(subs[0].w, subs[0].t, subs[0].r); err == nil {
+				t.Fatalf("%s seed %d: duplicate of pre-checkpoint response accepted", name, seed)
+			}
+			for _, s := range subs[cut:] {
+				if err := restored.Add(s.w, s.t, s.r); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if restored.Tasks() != uninterrupted.Tasks() || restored.Responses() != uninterrupted.Responses() {
+				t.Fatalf("%s seed %d: tasks/responses %d/%d, want %d/%d", name, seed,
+					restored.Tasks(), restored.Responses(), uninterrupted.Tasks(), uninterrupted.Responses())
+			}
+			want, err := uninterrupted.EvaluateAll(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := restored.EvaluateAll(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := range want {
+				if (want[w].Err == nil) != (got[w].Err == nil) {
+					t.Fatalf("%s seed %d worker %d: error mismatch %v vs %v", name, seed, w, got[w].Err, want[w].Err)
+				}
+				if want[w].Err != nil {
+					continue
+				}
+				if math.Float64bits(want[w].Interval.Lo) != math.Float64bits(got[w].Interval.Lo) ||
+					math.Float64bits(want[w].Interval.Hi) != math.Float64bits(got[w].Interval.Hi) {
+					t.Fatalf("%s seed %d worker %d: interval %v != %v", name, seed, w, got[w].Interval, want[w].Interval)
+				}
+			}
+			wantA, wantD := uninterrupted.DisagreementCounts()
+			gotA, gotD := restored.DisagreementCounts()
+			if !slices.Equal(wantA, gotA) || !slices.Equal(wantD, gotD) {
+				t.Fatalf("%s seed %d: disagreement tallies diverge: %v/%v vs %v/%v", name, seed, gotA, gotD, wantA, wantD)
+			}
+			if !restored.ExportStats().Equal(uninterrupted.ExportStats()) {
+				t.Fatalf("%s seed %d: restored export differs from uninterrupted", name, seed)
+			}
+		}
+	}
+}
+
+// TestCheckpointLogCanonicalOrder: equal states produce equal logs, no
+// matter the ingestion order the state was built in.
+func TestCheckpointLogCanonicalOrder(t *testing.T) {
+	subs := restoreStream(t, 1)
+	a, err := NewIncremental(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShardedIncremental(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs {
+		if err := a.Add(s.w, s.t, s.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same responses, different global order (per-task order preserved, as
+	// a real replayed slice would be).
+	for task := 0; task < 200; task++ {
+		for _, s := range subs {
+			if s.t == task {
+				if err := b.Add(s.w, s.t, s.r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	_, logA := a.Checkpoint()
+	_, logB := b.Checkpoint()
+	if !slices.Equal(logA, logB) {
+		t.Fatalf("canonical logs differ between evaluators holding the same responses")
+	}
+}
+
+// TestRestoreStatsRejects covers the failure modes a restore must refuse:
+// non-empty receivers, crowd-size mismatches, log/statistics count
+// mismatches, and logs whose replay does not reproduce the statistics.
+func TestRestoreStatsRejects(t *testing.T) {
+	subs := restoreStream(t, 2)
+	donor, err := NewIncremental(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range subs[:60] {
+		if err := donor.Add(s.w, s.t, s.r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, log := donor.Checkpoint()
+
+	expectErr := func(name, frag string, got error) {
+		t.Helper()
+		if got == nil || !strings.Contains(got.Error(), frag) {
+			t.Fatalf("%s: got %v, want error containing %q", name, got, frag)
+		}
+	}
+
+	busy, _ := NewIncremental(7)
+	if err := busy.Add(0, 0, crowd.Yes); err != nil {
+		t.Fatal(err)
+	}
+	expectErr("non-empty receiver", "already holding", busy.RestoreStats(e, log))
+
+	smaller, _ := NewIncremental(5)
+	expectErr("crowd mismatch", "7-worker crowd", smaller.RestoreStats(e, log))
+
+	fresh, _ := NewIncremental(7)
+	expectErr("short log", "statistics claim", fresh.RestoreStats(e, log[:len(log)-1]))
+
+	fresh2, _ := NewIncremental(7)
+	expectErr("nil export", "nil statistics", fresh2.RestoreStats(nil, nil))
+
+	// Tamper with one response: replay succeeds but the rebuilt statistics
+	// cannot match the export.
+	tampered := append([]LoggedResponse(nil), log...)
+	if tampered[10].Answer == crowd.Yes {
+		tampered[10].Answer = crowd.No
+	} else {
+		tampered[10].Answer = crowd.Yes
+	}
+	fresh3, _ := NewIncremental(7)
+	expectErr("tampered log", "diverge", fresh3.RestoreStats(e, tampered))
+
+	// A duplicate inside the log fails during replay with a clear index.
+	dup := append([]LoggedResponse(nil), log...)
+	dup[len(dup)-1] = dup[0]
+	fresh4, _ := NewIncremental(7)
+	expectErr("duplicate in log", "replaying checkpoint response", fresh4.RestoreStats(e, dup))
+
+	// The sharded evaluator enforces the same contract.
+	shardedBusy, _ := NewShardedIncremental(7, 2)
+	if err := shardedBusy.Add(0, 0, crowd.Yes); err != nil {
+		t.Fatal(err)
+	}
+	expectErr("sharded non-empty receiver", "already holding", shardedBusy.RestoreStats(e, log))
+}
+
+// TestStatsExportEqualNormalizesBitsets: trailing zero words in attendance
+// bitsets never distinguish equal states.
+func TestStatsExportEqualNormalizesBitsets(t *testing.T) {
+	donor, err := NewIncremental(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		for task := 0; task < 3; task++ {
+			if err := donor.Add(w, task, crowd.Response(1+(w+task)%2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a := donor.ExportStats()
+	b := donor.ExportStats()
+	b.Responded[2] = append(b.Responded[2], 0, 0)
+	if !a.Equal(b) {
+		t.Fatal("trailing zero bitset words should not break equality")
+	}
+	b.Responded[2][0] ^= 1
+	if a.Equal(b) {
+		t.Fatal("flipped attendance bit should break equality")
+	}
+}

@@ -363,12 +363,5 @@ func (s *ShardedIncremental) Snapshot() (*crowd.Dataset, error) {
 // responses. Majorities are per task and each task lives in one stripe, so
 // tallying shard by shard is exact.
 func (s *ShardedIncremental) MajorityDisagreement() []float64 {
-	attempted := make([]int, s.workers)
-	disagree := make([]int, s.workers)
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		tallyDisagreement(attempted, disagree, sh.taskResponses)
-		sh.mu.Unlock()
-	}
-	return disagreementRates(attempted, disagree)
+	return disagreementRates(s.DisagreementCounts())
 }

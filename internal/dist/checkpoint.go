@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"crowdassess/internal/core"
+	"crowdassess/internal/crowd"
+)
+
+// SnapshotVersion versions the checkpoint file format independently of the
+// wire protocol: a snapshot written today must reload after protocol bumps
+// that leave the persisted layout alone. Readers reject versions they do
+// not know instead of guessing at layouts; any layout change — new
+// section, reordered field, different checksum — must bump this.
+const SnapshotVersion = 1
+
+// snapMagic brands a checkpoint payload ("CrowdChecKPoint").
+var snapMagic = [4]byte{'C', 'C', 'K', 'P'}
+
+// snapCRC is the checksum table for snapshot payloads.
+var snapCRC = crc64.MakeTable(crc64.ECMA)
+
+// maxNodeName caps the node-identity string a snapshot may carry.
+const maxNodeName = 4096
+
+// Snapshot is one node's checkpoint: its identity, the exported sufficient
+// statistics, and the full response log behind them. The log is what makes
+// restoration exact — replaying it through the ordinary ingest path
+// rebuilds per-task response lists, duplicate detection and the spammer
+// screen, and the statistics double as an end-to-end integrity check on
+// the replay (see core.RestoreStats). A snapshot restores a node
+// byte-identically even when ingestion was cut mid-task.
+type Snapshot struct {
+	// Node is a free-form identity for the node the snapshot was taken
+	// from (a listen address, a slice label); diagnostic, not validated.
+	Node string
+	// Stats is the exported sufficient statistics at the checkpoint cut.
+	Stats *core.StatsExport
+	// Log is the full response log behind Stats, in the canonical order
+	// core.Checkpoint emits. len(Log) always equals Stats.Responses.
+	Log []core.LoggedResponse
+}
+
+// EncodeSnapshot serializes a snapshot in the versioned canonical form:
+// magic, snapshot version, node identity, the CSTA statistics payload
+// (EncodeStats — the same bytes the wire protocol ships), the response
+// log, then a CRC-64/ECMA of everything before it. Equal snapshots always
+// produce equal bytes.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	if s.Stats == nil {
+		return nil, fmt.Errorf("dist: snapshot carries no statistics")
+	}
+	if len(s.Node) > maxNodeName {
+		return nil, fmt.Errorf("dist: node identity of %d bytes exceeds limit %d", len(s.Node), maxNodeName)
+	}
+	if len(s.Log) != s.Stats.Responses {
+		return nil, fmt.Errorf("dist: snapshot log carries %d responses, statistics claim %d", len(s.Log), s.Stats.Responses)
+	}
+	stats, err := EncodeStats(s.Stats)
+	if err != nil {
+		return nil, err
+	}
+	log := encodeLog(s.Log)
+	buf := make([]byte, 0, 32+len(s.Node)+len(stats)+len(log))
+	buf = append(buf, snapMagic[:]...)
+	buf = appendUvarint(buf, SnapshotVersion)
+	buf = appendUvarint(buf, uint64(len(s.Node)))
+	buf = append(buf, s.Node...)
+	buf = appendUvarint(buf, uint64(len(stats)))
+	buf = append(buf, stats...)
+	buf = appendUvarint(buf, uint64(len(log)))
+	buf = append(buf, log...)
+	buf = appendU64le(buf, crc64.Checksum(buf, snapCRC))
+	return buf, nil
+}
+
+// DecodeSnapshot parses a snapshot payload, rejecting truncation, bad
+// magic, unknown versions, checksum mismatches and any inconsistency
+// between the statistics and the log — a corrupted checkpoint yields a
+// clear error, never a silently skewed restore.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("%w: %d bytes cannot hold a snapshot", ErrCodec, len(b))
+	}
+	body, sum := b[:len(b)-8], b[len(b)-8:]
+	r := &wireReader{buf: sum}
+	want, err := r.u64le("snapshot checksum")
+	if err != nil {
+		return nil, err
+	}
+	if got := crc64.Checksum(body, snapCRC); got != want {
+		return nil, fmt.Errorf("%w: snapshot checksum %016x does not match payload (%016x) — corrupted or truncated file", ErrCodec, want, got)
+	}
+	r = &wireReader{buf: body}
+	magic, err := r.bytes(4, "snapshot magic")
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(magic) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic %q", ErrCodec, magic)
+	}
+	version, err := r.uvarint("snapshot version")
+	if err != nil {
+		return nil, err
+	}
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d (have %d)", ErrCodec, version, SnapshotVersion)
+	}
+	n, err := r.count("node identity length", maxNodeName)
+	if err != nil {
+		return nil, err
+	}
+	name, err := r.bytes(n, "node identity")
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Node: string(name)}
+	n, err = r.count("statistics payload length", uint64(r.rest()))
+	if err != nil {
+		return nil, err
+	}
+	stats, err := r.bytes(n, "statistics payload")
+	if err != nil {
+		return nil, err
+	}
+	if s.Stats, err = DecodeStats(stats); err != nil {
+		return nil, err
+	}
+	n, err = r.count("log payload length", uint64(r.rest()))
+	if err != nil {
+		return nil, err
+	}
+	log, err := r.bytes(n, "log payload")
+	if err != nil {
+		return nil, err
+	}
+	if s.Log, err = decodeLog(log); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if len(s.Log) != s.Stats.Responses {
+		return nil, fmt.Errorf("%w: snapshot log carries %d responses, statistics claim %d", ErrCodec, len(s.Log), s.Stats.Responses)
+	}
+	return s, nil
+}
+
+// encodeLog serializes a response log in the ingest-record layout.
+func encodeLog(log []core.LoggedResponse) []byte {
+	buf := make([]byte, 0, 4+4*len(log))
+	buf = appendUvarint(buf, uint64(len(log)))
+	for _, lr := range log {
+		buf = appendUvarint(buf, uint64(lr.Worker))
+		buf = appendUvarint(buf, uint64(lr.Task))
+		buf = appendUvarint(buf, uint64(lr.Answer))
+	}
+	return buf
+}
+
+func decodeLog(b []byte) ([]core.LoggedResponse, error) {
+	r := &wireReader{buf: b}
+	// Each record takes at least three bytes.
+	count, err := r.count("log length", uint64(r.rest())/3)
+	if err != nil {
+		return nil, err
+	}
+	log := make([]core.LoggedResponse, count)
+	for i := range log {
+		if log[i].Worker, err = r.count("log worker", maxStatsWorkers); err != nil {
+			return nil, err
+		}
+		if log[i].Task, err = r.count("log task", maxCounter); err != nil {
+			return nil, err
+		}
+		answer, err := r.count("log answer", maxCounter)
+		if err != nil {
+			return nil, err
+		}
+		log[i].Answer = crowd.Response(answer)
+	}
+	return log, r.done()
+}
+
+// WriteSnapshot atomically persists a snapshot: the encoding is written to
+// a temporary file in the target directory, synced, and renamed into
+// place, so a crash mid-write can never truncate or corrupt an existing
+// checkpoint — the previous snapshot survives intact until the new one is
+// durably complete.
+func WriteSnapshot(path string, s *Snapshot) error {
+	payload, err := EncodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("dist: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp) // no-op after a successful rename
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return fmt.Errorf("dist: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dist: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dist: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("dist: publishing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads and validates a snapshot file written by
+// WriteSnapshot (or pulled from a node by Coordinator.CheckpointAll).
+func ReadSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := DecodeSnapshot(b)
+	if err != nil {
+		return nil, fmt.Errorf("dist: checkpoint %s: %w", path, err)
+	}
+	return s, nil
+}

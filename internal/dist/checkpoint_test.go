@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crowdassess/internal/core"
+	"crowdassess/internal/randx"
+)
+
+// snapshotOf builds a worker, ingests the stream, and checkpoints it.
+func snapshotOf(tb testing.TB, workers int, subs []submission, name string) *Snapshot {
+	tb.Helper()
+	w, err := NewWorker(WorkerOptions{Workers: workers, Shards: 3, Name: name})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, s := range subs {
+		if err := w.Evaluator().Add(s.w, s.t, s.r); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return w.Snapshot()
+}
+
+// TestSnapshotRoundTrip is the checkpoint property test: export → encode →
+// write → reload → re-export must be byte-identical, for several streams
+// and for the empty node.
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for seed := int64(0); seed < 4; seed++ {
+		subs := testStream(t, 8, 150, 70+seed)
+		if seed == 3 {
+			subs = nil // the empty node checkpoints too
+		}
+		snap := snapshotOf(t, 8, subs, "node-a:7333")
+		payload, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// In-memory round trip: decode and re-encode reproduce the bytes.
+		decoded, err := DecodeSnapshot(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reencoded, err := EncodeSnapshot(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, reencoded) {
+			t.Fatalf("seed %d: re-encoded snapshot differs from original", seed)
+		}
+
+		// Disk round trip: write, reload, restore into a fresh worker, and
+		// compare its re-exported snapshot byte for byte.
+		path := filepath.Join(dir, "node.ckpt")
+		if err := WriteSnapshot(path, snap); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadSnapshot(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewWorker(WorkerOptions{Workers: 8, Shards: 3, Name: "node-a:7333"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Restore(loaded); err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := EncodeSnapshot(fresh.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, replayed) {
+			t.Fatalf("seed %d: restored worker's snapshot differs from the checkpoint", seed)
+		}
+
+		// No temp files may survive the atomic write.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp-") {
+				t.Fatalf("seed %d: atomic write leaked temp file %s", seed, e.Name())
+			}
+		}
+	}
+}
+
+// TestSnapshotRejectsCorruption flips every byte (and truncates at sampled
+// prefixes) of a valid snapshot and requires a clear decode error — never
+// a panic, never a silently wrong restore.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	subs := testStream(t, 6, 80, 81)
+	snap := snapshotOf(t, 6, subs, "node-b")
+	payload, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := randx.NewSource(7)
+	for i := 0; i < len(payload); i++ {
+		corrupt := append([]byte(nil), payload...)
+		bit := byte(1 << (src.Intn(8)))
+		corrupt[i] ^= bit
+		if _, err := DecodeSnapshot(corrupt); err == nil {
+			t.Fatalf("flipping bit %x of byte %d went undetected", bit, i)
+		}
+	}
+	for _, n := range []int{0, 1, 4, 7, len(payload) / 3, len(payload) / 2, len(payload) - 9, len(payload) - 1} {
+		if n < 0 {
+			continue
+		}
+		if _, err := DecodeSnapshot(payload[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+	if _, err := DecodeSnapshot(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Fatal("trailing garbage went undetected")
+	}
+}
+
+// TestSnapshotRejectsInconsistency: a snapshot whose log and statistics
+// disagree is refused at decode (count mismatch) or at restore (replay
+// verification), with errors that say why.
+func TestSnapshotRejectsInconsistency(t *testing.T) {
+	subs := testStream(t, 6, 80, 82)
+	snap := snapshotOf(t, 6, subs, "")
+
+	short := &Snapshot{Node: snap.Node, Stats: snap.Stats, Log: snap.Log[:len(snap.Log)-1]}
+	if _, err := EncodeSnapshot(short); err == nil || !strings.Contains(err.Error(), "statistics claim") {
+		t.Fatalf("encode of short log: %v", err)
+	}
+
+	// Tamper with a logged answer: the payload still decodes (checksummed
+	// consistently) but restore's replay verification must catch it.
+	tampered := &Snapshot{Node: snap.Node, Stats: snap.Stats, Log: append([]core.LoggedResponse(nil), snap.Log...)}
+	if tampered.Log[3].Answer == 1 {
+		tampered.Log[3].Answer = 2
+	} else {
+		tampered.Log[3].Answer = 1
+	}
+	payload, err := EncodeSnapshot(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewWorker(WorkerOptions{Workers: 6, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(decoded); err == nil || !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("restore of tampered log: %v", err)
+	}
+}
+
+// TestReadSnapshotMissingFile: a missing checkpoint reads as fs.ErrNotExist
+// so daemons can distinguish first start from corruption.
+func TestReadSnapshotMissingFile(t *testing.T) {
+	_, err := ReadSnapshot(filepath.Join(t.TempDir(), "absent.ckpt"))
+	if err == nil || !os.IsNotExist(err) {
+		t.Fatalf("got %v, want not-exist", err)
+	}
+}
+
+// FuzzDecodeSnapshot: arbitrary bytes must decode to an error or to a
+// snapshot that re-encodes canonically; never panic.
+func FuzzDecodeSnapshot(f *testing.F) {
+	subs := testStream(f, 5, 60, 9)
+	w, err := NewWorker(WorkerOptions{Workers: 5, Shards: 2, Name: "fuzz-seed"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range subs {
+		if err := w.Evaluator().Add(s.w, s.t, s.r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	payload, err := EncodeSnapshot(w.Snapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(payload)
+	f.Add(payload[:len(payload)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeSnapshot(snap)
+		if err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("snapshot encoding is not canonical: %d bytes in, %d out", len(data), len(re))
+		}
+	})
+}

@@ -26,7 +26,13 @@ import (
 
 // ProtocolVersion is negotiated in the handshake; peers with different
 // versions refuse to talk rather than guess at frame layouts.
-const ProtocolVersion = 1
+//
+// Version history:
+//
+//	1 — hello/ingest/pullStats/pullTotal/sweep
+//	2 — adds pullCounts, pullDis (spammer-screen tallies), pullSnap and
+//	    restore (checkpoint state transfer) for fault-tolerant pools
+const ProtocolVersion = 2
 
 // statsCodecVersion versions the statistics payload independently of the
 // protocol, so exports persisted to disk stay readable across protocol
@@ -356,6 +362,71 @@ func decodeIngest(b []byte) ([]responseRec, error) {
 		}
 	}
 	return batch, r.done()
+}
+
+// countsMsg is a node's cheap running totals: the task-index horizon and
+// response count. A few bytes per node, so streaming reviews can poll it
+// every batch without paying for a statistics pull.
+type countsMsg struct {
+	Tasks     int
+	Responses int
+}
+
+func encodeCounts(m countsMsg) []byte {
+	buf := make([]byte, 0, 12)
+	buf = appendUvarint(buf, uint64(m.Tasks))
+	buf = appendUvarint(buf, uint64(m.Responses))
+	return buf
+}
+
+func decodeCounts(b []byte) (countsMsg, error) {
+	r := &wireReader{buf: b}
+	var m countsMsg
+	var err error
+	if m.Tasks, err = r.count("task count", maxCounter); err != nil {
+		return m, err
+	}
+	if m.Responses, err = r.count("response count", maxCounter); err != nil {
+		return m, err
+	}
+	return m, r.done()
+}
+
+// encodeTallies serializes the spammer-screen tallies: per worker, tasks
+// attempted and tasks disagreeing with the majority. The tallies are
+// integers and additive across disjoint task sets, so the coordinator sums
+// them per node and the cluster-wide screen is exact.
+func encodeTallies(attempted, disagree []int) []byte {
+	buf := make([]byte, 0, 4+4*len(attempted))
+	buf = appendUvarint(buf, uint64(len(attempted)))
+	for i := range attempted {
+		buf = appendUvarint(buf, uint64(attempted[i]))
+		buf = appendUvarint(buf, uint64(disagree[i]))
+	}
+	return buf
+}
+
+func decodeTallies(b []byte) (attempted, disagree []int, err error) {
+	r := &wireReader{buf: b}
+	// Each worker's pair takes at least two bytes.
+	workers, err := r.count("tally worker count", uint64(r.rest())/2)
+	if err != nil {
+		return nil, nil, err
+	}
+	attempted = make([]int, workers)
+	disagree = make([]int, workers)
+	for i := 0; i < workers; i++ {
+		if attempted[i], err = r.count("attempted tally", maxCounter); err != nil {
+			return nil, nil, err
+		}
+		if disagree[i], err = r.count("disagree tally", maxCounter); err != nil {
+			return nil, nil, err
+		}
+		if disagree[i] > attempted[i] {
+			return nil, nil, fmt.Errorf("%w: worker %d disagreed on %d of %d attempted tasks", ErrCodec, i, disagree[i], attempted[i])
+		}
+	}
+	return attempted, disagree, r.done()
 }
 
 func encodeTotal(total int) []byte {

@@ -18,99 +18,171 @@ type Response struct {
 	Answer crowd.Response
 }
 
-// Coordinator drives a set of worker nodes. Ingestion routes every task to
-// exactly one node by the same multiplicative hash the sharded evaluator
-// stripes tasks with, so each node's statistics cover a disjoint task
-// slice; evaluation pulls every node's statistics export, merges them
-// through core.StatsAccumulator — the addFrom reducer — and solves once.
-// Because the merge is exact integer addition and the solve is the very
-// same Algorithm A2 path, the intervals are bit-identical to a single
-// local Incremental fed every response.
+// Coordinator drives a set of worker nodes. The task space is partitioned
+// into slices by the same kind of multiplicative hash the sharded
+// evaluator stripes tasks with, so each slice's statistics cover a
+// disjoint task set; evaluation pulls every slice's statistics export,
+// merges them through core.StatsAccumulator — the addFrom reducer — and
+// solves once. Because the merge is exact integer addition and the solve
+// is the very same Algorithm A2 path, the intervals are bit-identical to a
+// single local Incremental fed every response.
+//
+// Each slice is owned by one or more replica nodes
+// (NewReplicatedCoordinator). Ingestion fans every batch out to all live
+// replicas of the slice; statistics pulls read every live replica and
+// byte-compare the canonical payloads, taking one authoritative copy —
+// replicas that have silently diverged surface as ErrDivergence rather
+// than skewing estimates. A replica whose connection breaks is marked down
+// and dropped from the fan-out; the slice keeps serving from its
+// survivors, and a replacement node can be attached and brought up to date
+// with RestoreNode. Per-slice operations serialize on the slice, which is
+// what keeps replicas in lockstep: a statistics pull never observes a
+// batch that only some replicas have ingested.
 //
 // All methods are safe for concurrent use; requests on the same node
 // serialize on that node's connection.
 type Coordinator struct {
 	workers int
-	nodes   []*node
-}
-
-// node is one worker connection; mu serializes request/response
-// round-trips on it.
-type node struct {
-	mu     sync.Mutex
-	conn   *Conn
-	shards int // node-local shard count, from the handshake
+	slices  []*slice
 }
 
 // NewCoordinator handshakes the given worker connections into a cluster
-// over a crowd of the given size. It takes ownership of the connections:
-// they are closed on handshake failure and by Close.
+// over a crowd of the given size, one connection per task slice (no
+// replication). It takes ownership of the connections: they are closed on
+// handshake failure and by Close.
 func NewCoordinator(workers int, conns []*Conn) (*Coordinator, error) {
 	if len(conns) == 0 {
 		return nil, errors.New("dist: coordinator needs at least one worker connection")
 	}
+	groups := make([][]*Conn, len(conns))
+	for i, conn := range conns {
+		groups[i] = []*Conn{conn}
+	}
+	return NewReplicatedCoordinator(workers, groups)
+}
+
+// NewReplicatedCoordinator handshakes worker connections into a replicated
+// cluster: groups[i] is the replica set jointly owning task slice i, each
+// replica a node that will ingest — and must agree on — that slice's
+// every response. Replicas make a slice survive node death: as long as one
+// replica lives, the slice serves, and dead replicas can be replaced with
+// RestoreNode without losing the slice. It takes ownership of all
+// connections: they are closed on handshake failure and by Close.
+func NewReplicatedCoordinator(workers int, groups [][]*Conn) (*Coordinator, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("dist: coordinator needs at least one task slice")
+	}
+	closeAll := func() {
+		for _, g := range groups {
+			for _, conn := range g {
+				conn.Close()
+			}
+		}
+	}
 	if workers < 3 {
+		closeAll()
 		return nil, fmt.Errorf("dist: need at least 3 crowd workers, have %d", workers)
 	}
 	c := &Coordinator{workers: workers}
-	for i, conn := range conns {
-		replyType, reply, err := conn.roundTrip(msgHello, encodeHello(helloMsg{Version: ProtocolVersion, Workers: workers}))
-		if err == nil && replyType != msgHelloOK {
-			err = fmt.Errorf("dist: unexpected handshake reply 0x%02x", replyType)
+	for si, g := range groups {
+		if len(g) == 0 {
+			closeAll()
+			return nil, fmt.Errorf("dist: slice %d has no replica connections", si)
 		}
-		var hello helloMsg
-		if err == nil {
-			hello, err = decodeHello(reply)
-		}
-		if err == nil && hello.Workers != workers {
-			err = fmt.Errorf("dist: node %d serves %d crowd workers, want %d", i, hello.Workers, workers)
-		}
-		if err != nil {
-			for _, cc := range conns {
-				cc.Close()
+		s := &slice{}
+		for ri, conn := range g {
+			n, err := handshake(workers, conn)
+			if err != nil {
+				closeAll()
+				return nil, fmt.Errorf("dist: handshake with slice %d replica %d: %w", si, ri, err)
 			}
-			return nil, fmt.Errorf("dist: handshake with node %d: %w", i, err)
+			s.replicas = append(s.replicas, n)
 		}
-		c.nodes = append(c.nodes, &node{conn: conn, shards: hello.Shards})
+		c.slices = append(c.slices, s)
 	}
 	return c, nil
+}
+
+// handshake negotiates protocol version and crowd size with one node.
+func handshake(workers int, conn *Conn) (*node, error) {
+	replyType, reply, err := conn.roundTrip(msgHello, encodeHello(helloMsg{Version: ProtocolVersion, Workers: workers}))
+	if err == nil && replyType != msgHelloOK {
+		err = fmt.Errorf("dist: unexpected handshake reply 0x%02x", replyType)
+	}
+	var hello helloMsg
+	if err == nil {
+		hello, err = decodeHello(reply)
+	}
+	if err == nil && hello.Workers != workers {
+		err = fmt.Errorf("dist: node serves %d crowd workers, want %d", hello.Workers, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &node{conn: conn, shards: hello.Shards}, nil
 }
 
 // Workers returns the crowd size the cluster is indexed by.
 func (c *Coordinator) Workers() int { return c.workers }
 
-// Nodes returns the number of worker nodes.
-func (c *Coordinator) Nodes() int { return len(c.nodes) }
+// Slices returns the number of task slices the cluster is partitioned
+// into — the routing width, fixed for the coordinator's lifetime.
+func (c *Coordinator) Slices() int { return len(c.slices) }
 
-// Close closes every worker connection.
+// Nodes returns the number of live worker nodes across every slice.
+func (c *Coordinator) Nodes() int {
+	total := 0
+	for _, s := range c.slices {
+		s.mu.Lock()
+		total += len(s.liveLocked())
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// LiveReplicas returns how many replicas of task slice si are still live.
+func (c *Coordinator) LiveReplicas(si int) int {
+	s := c.slices[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.liveLocked())
+}
+
+// Close closes every worker connection, live or down.
 func (c *Coordinator) Close() error {
 	var first error
-	for _, n := range c.nodes {
-		n.mu.Lock()
-		err := n.conn.Close()
-		n.mu.Unlock()
-		if first == nil && err != nil {
-			first = err
+	for _, s := range c.slices {
+		s.mu.Lock()
+		for _, n := range s.replicas {
+			n.mu.Lock()
+			err := n.conn.Close()
+			n.mu.Unlock()
+			// Down replicas were already closed; their second Close's
+			// error is noise.
+			if first == nil && err != nil && !n.down {
+				first = err
+			}
 		}
+		s.mu.Unlock()
 	}
 	return first
 }
 
-// nodeOf routes task t to its owning node, deterministically, spreading
+// sliceOf routes task t to its owning slice, deterministically, spreading
 // contiguous task ranges evenly. It deliberately uses a different mixer
 // (splitmix64's finalizer) than ShardedIncremental.shardOf: with the same
-// hash at both levels, every task a node receives would satisfy
-// H(t) ≡ node (mod nodes), collapsing the node's local shard striping
-// H(t) mod shards onto gcd(nodes, shards) residues — one shard lock doing
-// all the work whenever nodes and shards share a factor.
-func (c *Coordinator) nodeOf(t int) int {
+// hash at both levels, every task a slice receives would satisfy
+// H(t) ≡ slice (mod slices), collapsing the node's local shard striping
+// H(t) mod shards onto gcd(slices, shards) residues — one shard lock doing
+// all the work whenever the counts share a factor.
+func (c *Coordinator) sliceOf(t int) int {
 	h := uint64(t) + 0x9e3779b97f4a7c15
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
 	h *= 0x94d049bb133111eb
 	h ^= h >> 31
-	return int(h % uint64(len(c.nodes)))
+	return int(h % uint64(len(c.slices)))
 }
 
 // roundTrip runs one serialized request/response on a node and checks the
@@ -128,97 +200,161 @@ func (n *node) roundTrip(msgType byte, body []byte, wantReply byte) ([]byte, err
 	return reply, nil
 }
 
-// Add routes one response to its owning node. For throughput, prefer
-// Ingest: it ships whole batches per node in single frames.
+// Add routes one response to its owning slice (every live replica). For
+// throughput, prefer Ingest: it ships whole batches per slice in single
+// frames.
 func (c *Coordinator) Add(w, t int, r crowd.Response) error {
 	if t < 0 {
 		return fmt.Errorf("dist: negative task index %d", t)
 	}
 	batch := []responseRec{{Worker: w, Task: t, Answer: int(r)}}
-	_, err := c.nodes[c.nodeOf(t)].roundTrip(msgIngest, encodeIngest(batch), msgIngestOK)
+	_, err := c.broadcast(c.sliceOf(t), msgIngest, encodeIngest(batch), msgIngestOK, false)
 	return err
 }
 
-// Ingest routes a batch of responses: one frame per involved node, sent
-// concurrently. Responses for the same task always land on the same node,
-// in their order within the batch. On failure the errors of every failing
-// node are joined (in node order); earlier responses within batches may
-// already be ingested (the same per-response contract local Add has — a
-// rejected response never corrupts state).
+// Ingest routes a batch of responses: one frame per involved slice, fanned
+// out to every live replica of the slice, slices in parallel. Responses
+// for the same task always land on the same slice, in their order within
+// the batch. On failure the errors of every failing slice are joined (in
+// slice order); earlier responses within batches may already be ingested
+// (the same per-response contract local Add has — a rejected response
+// never corrupts state).
 func (c *Coordinator) Ingest(batch []Response) error {
-	perNode := make([][]responseRec, len(c.nodes))
+	perSlice := make([][]responseRec, len(c.slices))
 	for _, s := range batch {
 		if s.Task < 0 {
 			return fmt.Errorf("dist: negative task index %d", s.Task)
 		}
-		ni := c.nodeOf(s.Task)
-		perNode[ni] = append(perNode[ni], responseRec{Worker: s.Worker, Task: s.Task, Answer: int(s.Answer)})
+		si := c.sliceOf(s.Task)
+		perSlice[si] = append(perSlice[si], responseRec{Worker: s.Worker, Task: s.Task, Answer: int(s.Answer)})
 	}
-	errs := make([]error, len(c.nodes))
+	errs := make([]error, len(c.slices))
 	var wg sync.WaitGroup
-	for ni, recs := range perNode {
+	for si, recs := range perSlice {
 		if len(recs) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(ni int, recs []responseRec) {
+		go func(si int, recs []responseRec) {
 			defer wg.Done()
-			_, errs[ni] = c.nodes[ni].roundTrip(msgIngest, encodeIngest(recs), msgIngestOK)
-		}(ni, recs)
+			_, errs[si] = c.broadcast(si, msgIngest, encodeIngest(recs), msgIngestOK, false)
+		}(si, recs)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// Responses sums the nodes' running response totals — a few bytes per
-// node, pulled concurrently, so the cost is one round-trip rather than a
-// statistics merge. Streaming reviews may call this every batch.
-func (c *Coordinator) Responses() (int, error) {
-	totals := make([]int, len(c.nodes))
-	errs := make([]error, len(c.nodes))
+// counts pulls every slice's cheap running totals concurrently.
+func (c *Coordinator) counts() (tasks, responses int, err error) {
+	msgs := make([]countsMsg, len(c.slices))
+	errs := make([]error, len(c.slices))
 	var wg sync.WaitGroup
-	for ni := range c.nodes {
+	for si := range c.slices {
 		wg.Add(1)
-		go func(ni int) {
+		go func(si int) {
 			defer wg.Done()
-			reply, err := c.nodes[ni].roundTrip(msgPullTotal, nil, msgIngestOK)
+			reply, err := c.broadcast(si, msgPullCounts, nil, msgCounts, true)
 			if err != nil {
-				errs[ni] = err
+				errs[si] = err
 				return
 			}
-			totals[ni], errs[ni] = decodeTotal(reply)
-		}(ni)
+			msgs[si], errs[si] = decodeCounts(reply)
+		}(si)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	total := 0
-	for _, t := range totals {
-		total += t
+	for _, m := range msgs {
+		if m.Tasks > tasks {
+			tasks = m.Tasks
+		}
+		responses += m.Responses
 	}
-	return total, nil
+	return tasks, responses, nil
 }
 
-// Merge pulls every node's statistics export (concurrently) and folds them
-// into a fresh accumulator in node order. The counters are integers, so
-// the merged state — and everything evaluated from it — is independent of
-// pull timing and identical to a single evaluator's.
-func (c *Coordinator) Merge() (*core.StatsAccumulator, error) {
-	exports := make([]*core.StatsExport, len(c.nodes))
-	errs := make([]error, len(c.nodes))
+// Responses sums the slices' running response totals — a few bytes per
+// slice, pulled concurrently, so the cost is one round-trip rather than a
+// statistics merge. Streaming reviews may call this every batch.
+func (c *Coordinator) Responses() (int, error) {
+	_, responses, err := c.counts()
+	return responses, err
+}
+
+// Tasks returns the number of distinct task indices seen across the
+// cluster (max index + 1).
+func (c *Coordinator) Tasks() (int, error) {
+	tasks, _, err := c.counts()
+	return tasks, err
+}
+
+// MajorityDisagreement runs the paper's spammer screen over the cluster:
+// each slice reports its integer attempted/disagree tallies (majorities
+// are per task, and each task lives wholly in one slice, so the tallies
+// are additive), the coordinator sums them and divides once — the same
+// rates, bit for bit, as a local evaluator fed every response.
+func (c *Coordinator) MajorityDisagreement() ([]float64, error) {
+	attempted := make([]int, c.workers)
+	disagree := make([]int, c.workers)
+	type tallies struct{ attempted, disagree []int }
+	out := make([]tallies, len(c.slices))
+	errs := make([]error, len(c.slices))
 	var wg sync.WaitGroup
-	for ni := range c.nodes {
+	for si := range c.slices {
 		wg.Add(1)
-		go func(ni int) {
+		go func(si int) {
 			defer wg.Done()
-			reply, err := c.nodes[ni].roundTrip(msgPullStats, nil, msgStats)
+			reply, err := c.broadcast(si, msgPullDis, nil, msgDis, true)
 			if err != nil {
-				errs[ni] = err
+				errs[si] = err
 				return
 			}
-			exports[ni], errs[ni] = DecodeStats(reply)
-		}(ni)
+			out[si].attempted, out[si].disagree, errs[si] = decodeTallies(reply)
+		}(si)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	for si, tl := range out {
+		if len(tl.attempted) != c.workers {
+			return nil, fmt.Errorf("dist: slice %d reported tallies for %d workers, want %d", si, len(tl.attempted), c.workers)
+		}
+		for w := range attempted {
+			attempted[w] += tl.attempted[w]
+			disagree[w] += tl.disagree[w]
+		}
+	}
+	rates := make([]float64, c.workers)
+	for w := range rates {
+		if attempted[w] > 0 {
+			rates[w] = float64(disagree[w]) / float64(attempted[w])
+		}
+	}
+	return rates, nil
+}
+
+// Merge pulls every slice's statistics export (concurrently, validated
+// across replicas) and folds them into a fresh accumulator in slice order.
+// The counters are integers, so the merged state — and everything
+// evaluated from it — is independent of pull timing and identical to a
+// single evaluator's.
+func (c *Coordinator) Merge() (*core.StatsAccumulator, error) {
+	exports := make([]*core.StatsExport, len(c.slices))
+	errs := make([]error, len(c.slices))
+	var wg sync.WaitGroup
+	for si := range c.slices {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			reply, err := c.broadcast(si, msgPullStats, nil, msgStats, true)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			exports[si], errs[si] = DecodeStats(reply)
+		}(si)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
@@ -228,9 +364,9 @@ func (c *Coordinator) Merge() (*core.StatsAccumulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	for ni, e := range exports {
+	for si, e := range exports {
 		if err := acc.Merge(e); err != nil {
-			return nil, fmt.Errorf("dist: merging node %d: %w", ni, err)
+			return nil, fmt.Errorf("dist: merging slice %d: %w", si, err)
 		}
 	}
 	return acc, nil
@@ -245,7 +381,7 @@ func (c *Coordinator) Evaluate(worker int, opts core.EvalOptions) (core.WorkerEs
 	return acc.Evaluate(worker, opts)
 }
 
-// EvaluateAll pulls every node's statistics once, merges them, and solves
+// EvaluateAll pulls every slice's statistics once, merges them, and solves
 // every worker's interval — the distributed form of
 // Incremental.EvaluateAll, bit-identical to it on the same responses.
 func (c *Coordinator) EvaluateAll(opts core.EvalOptions) ([]core.WorkerEstimate, error) {
@@ -266,29 +402,71 @@ func (c *Coordinator) EvaluateSubset(workers []int, opts core.EvalOptions) ([]co
 	return acc.EvaluateSubset(workers, opts)
 }
 
+// Snapshot materializes every response the cluster holds as a Dataset, by
+// pulling each slice's checkpoint (statistics plus response log) and
+// replaying the logs — the distributed form of Incremental.Snapshot, for
+// interoperability with the batch algorithms.
+func (c *Coordinator) Snapshot() (*crowd.Dataset, error) {
+	snaps := make([]*Snapshot, len(c.slices))
+	errs := make([]error, len(c.slices))
+	var wg sync.WaitGroup
+	for si := range c.slices {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			snaps[si], errs[si] = c.SliceSnapshot(si)
+		}(si)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	tasks := 0
+	for _, snap := range snaps {
+		if snap.Stats.Tasks > tasks {
+			tasks = snap.Stats.Tasks
+		}
+	}
+	if tasks == 0 {
+		return nil, fmt.Errorf("dist: no responses recorded: %w", core.ErrInsufficientData)
+	}
+	ds, err := crowd.NewDataset(c.workers, tasks, 2)
+	if err != nil {
+		return nil, err
+	}
+	for si, snap := range snaps {
+		for _, lr := range snap.Log {
+			if err := ds.SetResponse(lr.Worker, lr.Task, lr.Answer); err != nil {
+				return nil, fmt.Errorf("dist: slice %d log: %w", si, err)
+			}
+		}
+	}
+	return ds, nil
+}
+
 // RunSweep distributes a replicate sweep: the replicate index range is
-// partitioned into contiguous per-node slices (node i of N computes
-// [i·R/N, (i+1)·R/N) — deterministic in the node count), each node runs
-// its slice with unchanged per-replicate seeding, and the reassembled
-// vectors reduce exactly as a local eval.RunSweep would. The Result is
-// byte-identical to the local run.
+// partitioned into contiguous per-slice ranges (slice i of N computes
+// [i·R/N, (i+1)·R/N) — deterministic in the slice count), each range runs
+// on one live replica of its slice with unchanged per-replicate seeding,
+// and the reassembled vectors reduce exactly as a local eval.RunSweep
+// would. The Result is byte-identical to the local run.
 func (c *Coordinator) RunSweep(spec eval.SweepSpec, parallel bool) (*eval.Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	spec = spec.WithDefaults()
 	reps := spec.Replicates
-	n := len(c.nodes)
+	n := len(c.slices)
 	vectors := make([][][]float64, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for ni := 0; ni < n; ni++ {
-		lo, hi := ni*reps/n, (ni+1)*reps/n
+	for si := 0; si < n; si++ {
+		lo, hi := si*reps/n, (si+1)*reps/n
 		if lo == hi {
 			continue
 		}
 		wg.Add(1)
-		go func(ni, lo, hi int) {
+		go func(si, lo, hi int) {
 			defer wg.Done()
 			body := encodeSweep(sweepMsg{
 				Kernel:     spec.Kernel,
@@ -301,23 +479,23 @@ func (c *Coordinator) RunSweep(spec eval.SweepSpec, parallel bool) (*eval.Result
 				Hi:         hi,
 				Parallel:   parallel,
 			})
-			reply, err := c.nodes[ni].roundTrip(msgSweep, body, msgSweepOK)
+			reply, err := c.sweepSlice(si, body)
 			if err != nil {
-				errs[ni] = err
+				errs[si] = err
 				return
 			}
 			vecs, err := decodeVectors(reply)
 			if err == nil && len(vecs) != hi-lo {
-				err = fmt.Errorf("dist: node %d returned %d replicate vectors, want %d", ni, len(vecs), hi-lo)
+				err = fmt.Errorf("dist: slice %d returned %d replicate vectors, want %d", si, len(vecs), hi-lo)
 			}
-			vectors[ni], errs[ni] = vecs, err
-		}(ni, lo, hi)
+			vectors[si], errs[si] = vecs, err
+		}(si, lo, hi)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
-	// Contiguous per-node ranges concatenate back into global replicate
+	// Contiguous per-slice ranges concatenate back into global replicate
 	// order.
 	all := make([][]float64, 0, reps)
 	for _, vecs := range vectors {

@@ -252,7 +252,7 @@ func TestNodeRoutingIndependentOfShardStriping(t *testing.T) {
 			hit[ni] = make([]bool, shards)
 		}
 		for task := 0; task < 4096; task++ {
-			hit[coord.nodeOf(task)][stripeOf(task, shards)] = true
+			hit[coord.sliceOf(task)][stripeOf(task, shards)] = true
 		}
 		for ni := range hit {
 			for si, ok := range hit[ni] {

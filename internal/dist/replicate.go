@@ -1,0 +1,300 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+)
+
+// node is one replica connection; mu serializes request/response
+// round-trips on it.
+type node struct {
+	mu     sync.Mutex
+	conn   *Conn
+	shards int  // node-local shard count, from the handshake
+	down   bool // connection broken; guarded by the owning slice's mu
+}
+
+// slice is one task slice and the replica set that jointly owns it. mu
+// serializes the slice's state-bearing operations — an ingest fan-out
+// completes on every live replica before any statistics pull observes the
+// slice, so live replicas are always in lockstep at pull time and a
+// byte-level comparison of their canonical exports is a sound divergence
+// check, not a race.
+type slice struct {
+	mu       sync.Mutex
+	replicas []*node
+}
+
+// liveLocked returns the live replicas in attach order; caller holds s.mu.
+func (s *slice) liveLocked() []*node {
+	live := make([]*node, 0, len(s.replicas))
+	for _, n := range s.replicas {
+		if !n.down {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// ErrNoReplica reports that every replica of a task slice is gone: the
+// slice cannot serve until a node is attached with RestoreNode (from a
+// checkpoint, since no live source remains).
+var ErrNoReplica = errors.New("dist: no live replica for task slice")
+
+// ErrDivergence reports that two live replicas of one slice returned
+// different statistics for the same responses — corruption or out-of-band
+// writes, never timing (slice operations are serialized). The cluster
+// refuses to pick a side; detach the bad replica and restore it from a
+// healthy one.
+var ErrDivergence = errors.New("dist: replica divergence")
+
+// isRemote reports whether err is an application-level worker rejection
+// (node healthy, request refused) rather than a transport failure.
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// markDownLocked retires a replica whose connection failed; caller holds
+// the owning slice's mu.
+func markDownLocked(n *node) {
+	n.down = true
+	n.conn.Close()
+}
+
+// broadcast runs one request on every live replica of slice si and
+// returns one authoritative reply. Transport failures mark the replica
+// down and the call succeeds on the survivors; application-level
+// rejections (RemoteError) propagate without touching liveness — every
+// replica holds the same state and rejects the same requests. With
+// validate set, all surviving replies must be byte-identical (the codec is
+// canonical, so equal state ⇔ equal bytes); a mismatch is ErrDivergence.
+func (c *Coordinator) broadcast(si int, msgType byte, body []byte, wantReply byte, validate bool) ([]byte, error) {
+	s := c.slices[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.broadcastLocked(si, s, msgType, body, wantReply, validate)
+}
+
+func (c *Coordinator) broadcastLocked(si int, s *slice, msgType byte, body []byte, wantReply byte, validate bool) ([]byte, error) {
+	live := s.liveLocked()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("%w %d", ErrNoReplica, si)
+	}
+	replies := make([][]byte, len(live))
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, n := range live {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			replies[i], errs[i] = n.roundTrip(msgType, body, wantReply)
+		}(i, n)
+	}
+	wg.Wait()
+	var appErr error
+	var lost []error
+	ok := replies[:0]
+	for i, n := range live {
+		switch {
+		case errs[i] == nil:
+			ok = append(ok, replies[i])
+		case isRemote(errs[i]):
+			if appErr == nil {
+				appErr = errs[i]
+			}
+		default:
+			markDownLocked(n)
+			lost = append(lost, errs[i])
+		}
+	}
+	if appErr != nil {
+		return nil, appErr
+	}
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("%w %d: %w", ErrNoReplica, si, errors.Join(lost...))
+	}
+	if validate {
+		for _, reply := range ok[1:] {
+			if !bytes.Equal(ok[0], reply) {
+				return nil, fmt.Errorf("%w: slice %d replicas disagree on request 0x%02x", ErrDivergence, si, msgType)
+			}
+		}
+	}
+	return ok[0], nil
+}
+
+// firstLocked runs one request on the first live replica of the slice that
+// answers, marking broken replicas down along the way; caller holds s.mu.
+// For pulls whose replies legitimately differ per node (snapshots carry
+// the node's identity), where broadcast's validation cannot apply.
+func (c *Coordinator) firstLocked(si int, s *slice, msgType byte, body []byte, wantReply byte) ([]byte, error) {
+	var lost []error
+	for _, n := range s.liveLocked() {
+		reply, err := n.roundTrip(msgType, body, wantReply)
+		if err == nil {
+			return reply, nil
+		}
+		if isRemote(err) {
+			return nil, err
+		}
+		markDownLocked(n)
+		lost = append(lost, err)
+	}
+	if len(lost) > 0 {
+		return nil, fmt.Errorf("%w %d: %w", ErrNoReplica, si, errors.Join(lost...))
+	}
+	return nil, fmt.Errorf("%w %d", ErrNoReplica, si)
+}
+
+// sweepSlice runs one sweep request on some live replica of slice si. The
+// slice lock is held only to read the replica set, not across the compute:
+// sweeps carry no slice state, so they must not stall ingestion.
+func (c *Coordinator) sweepSlice(si int, body []byte) ([]byte, error) {
+	s := c.slices[si]
+	for {
+		s.mu.Lock()
+		live := s.liveLocked()
+		s.mu.Unlock()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("%w %d", ErrNoReplica, si)
+		}
+		n := live[0]
+		reply, err := n.roundTrip(msgSweep, body, msgSweepOK)
+		if err == nil || isRemote(err) {
+			return reply, err
+		}
+		s.mu.Lock()
+		markDownLocked(n)
+		s.mu.Unlock()
+	}
+}
+
+// SliceSnapshot pulls a checkpoint — statistics plus response log — from a
+// live replica of task slice si, validated against the snapshot codec.
+// Persist it with WriteSnapshot, or hand it to RestoreNode to seed a
+// replacement.
+func (c *Coordinator) SliceSnapshot(si int) (*Snapshot, error) {
+	if si < 0 || si >= len(c.slices) {
+		return nil, fmt.Errorf("dist: slice %d out of range 0…%d", si, len(c.slices)-1)
+	}
+	s := c.slices[si]
+	s.mu.Lock()
+	payload, err := c.firstLocked(si, s, msgPullSnap, nil, msgSnap)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	snap, err := DecodeSnapshot(payload)
+	if err != nil {
+		return nil, fmt.Errorf("dist: slice %d snapshot: %w", si, err)
+	}
+	return snap, nil
+}
+
+// CheckpointAll snapshots every task slice into dir, one file per slice
+// (slice-NNN.ckpt), pulled concurrently and each written atomically.
+// Returned paths are indexed by slice. Each file is a consistent cut of
+// its own slice; the set is NOT a cluster-wide barrier — ingestion
+// continuing during the pass may land on some slices' files and not
+// others. That is exactly as strong as recovery needs: slices are
+// disjoint, restores are per slice, and each slice's stream replays from
+// that slice's own cut (Snapshot.Stats.Responses). Any one file restores
+// its slice via RestoreNode (or crowdd -checkpoint) even after every
+// replica of the slice is lost.
+func (c *Coordinator) CheckpointAll(dir string) ([]string, error) {
+	paths := make([]string, len(c.slices))
+	errs := make([]error, len(c.slices))
+	var wg sync.WaitGroup
+	for si := range c.slices {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			snap, err := c.SliceSnapshot(si)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			path := filepath.Join(dir, fmt.Sprintf("slice-%03d.ckpt", si))
+			if err := WriteSnapshot(path, snap); err != nil {
+				errs[si] = err
+				return
+			}
+			paths[si] = path
+		}(si)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// RestoreNode attaches a replacement node to task slice si and brings it
+// up to date before it serves: the newcomer is handshaken, seeded by
+// replaying a snapshot — pulled live from a surviving replica when snap is
+// nil, or the given checkpoint otherwise — and only then joins the
+// replica set. The slice is locked for the duration, so no batch can land
+// between the seed and the attach; the newcomer is in lockstep from its
+// first fan-out.
+//
+// A checkpoint can only seed a slice whose live replicas hold exactly the
+// checkpointed statistics (verified before anything is sent); restoring a
+// stale checkpoint next to live survivors would hand the validator a
+// guaranteed divergence. When every replica of the slice is gone, the
+// checkpoint is the recovery path — re-ingest whatever the stream carried
+// after the checkpoint cut, and the slice is whole again.
+//
+// The coordinator takes ownership of conn; it is closed if the restore
+// fails at any step.
+func (c *Coordinator) RestoreNode(si int, conn *Conn, snap *Snapshot) error {
+	if si < 0 || si >= len(c.slices) {
+		conn.Close()
+		return fmt.Errorf("dist: slice %d out of range 0…%d", si, len(c.slices)-1)
+	}
+	n, err := handshake(c.workers, conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: handshake with replacement for slice %d: %w", si, err)
+	}
+	s := c.slices[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var payload []byte
+	if snap == nil {
+		if payload, err = c.firstLocked(si, s, msgPullSnap, nil, msgSnap); err != nil {
+			conn.Close()
+			return fmt.Errorf("dist: no live source to restore slice %d from (pass a checkpoint): %w", si, err)
+		}
+	} else {
+		if payload, err = EncodeSnapshot(snap); err != nil {
+			conn.Close()
+			return err
+		}
+		if len(s.liveLocked()) > 0 {
+			cur, err := c.broadcastLocked(si, s, msgPullStats, nil, msgStats, true)
+			if err != nil {
+				conn.Close()
+				return err
+			}
+			want, err := EncodeStats(snap.Stats)
+			if err != nil {
+				conn.Close()
+				return err
+			}
+			if !bytes.Equal(cur, want) {
+				conn.Close()
+				return fmt.Errorf("dist: checkpoint is stale against slice %d's live replicas — restore from a replica (nil snapshot) instead", si)
+			}
+		}
+	}
+	if _, err := n.roundTrip(msgRestore, payload, msgRestoreOK); err != nil {
+		conn.Close()
+		return fmt.Errorf("dist: seeding replacement for slice %d: %w", si, err)
+	}
+	s.replicas = append(s.replicas, n)
+	return nil
+}

@@ -7,31 +7,64 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"time"
 )
 
 // Message types. Every frame is one message: a 4-byte big-endian payload
 // length, a type byte, then the type's body.
 const (
-	msgHello     byte = 0x01 // coordinator → worker: helloMsg
-	msgHelloOK   byte = 0x02 // worker → coordinator: helloMsg
-	msgIngest    byte = 0x03 // coordinator → worker: response batch
-	msgIngestOK  byte = 0x04 // worker → coordinator: running response total
-	msgPullStats byte = 0x05 // coordinator → worker: empty
-	msgStats     byte = 0x06 // worker → coordinator: EncodeStats payload
-	msgSweep     byte = 0x07 // coordinator → worker: sweepMsg
-	msgSweepOK   byte = 0x08 // worker → coordinator: replicate vectors
-	msgError     byte = 0x09 // worker → coordinator: UTF-8 failure text
-	msgPullTotal byte = 0x0a // coordinator → worker: empty; replied msgIngestOK
+	msgHello      byte = 0x01 // coordinator → worker: helloMsg
+	msgHelloOK    byte = 0x02 // worker → coordinator: helloMsg
+	msgIngest     byte = 0x03 // coordinator → worker: response batch
+	msgIngestOK   byte = 0x04 // worker → coordinator: running response total
+	msgPullStats  byte = 0x05 // coordinator → worker: empty
+	msgStats      byte = 0x06 // worker → coordinator: EncodeStats payload
+	msgSweep      byte = 0x07 // coordinator → worker: sweepMsg
+	msgSweepOK    byte = 0x08 // worker → coordinator: replicate vectors
+	msgError      byte = 0x09 // worker → coordinator: UTF-8 failure text
+	msgPullTotal  byte = 0x0a // coordinator → worker: empty; replied msgIngestOK
+	msgPullCounts byte = 0x0b // coordinator → worker: empty
+	msgCounts     byte = 0x0c // worker → coordinator: countsMsg
+	msgPullDis    byte = 0x0d // coordinator → worker: empty
+	msgDis        byte = 0x0e // worker → coordinator: disagreement tallies
+	msgPullSnap   byte = 0x0f // coordinator → worker: empty
+	msgSnap       byte = 0x10 // worker → coordinator: EncodeSnapshot payload
+	msgRestore    byte = 0x11 // coordinator → worker: EncodeSnapshot payload
+	msgRestoreOK  byte = 0x12 // worker → coordinator: countsMsg after restore
 )
 
-// maxFrame bounds a frame payload (type byte included): the pairwise
-// counter triangle grows quadratically, so 64 MiB carries crowds up to
-// roughly eight thousand workers — past every deployment this protocol
-// targets — while keeping a corrupt length prefix from making a peer
-// allocate unbounded memory. A worker whose statistics outgrow it replies
-// msgError rather than dropping the connection.
+// maxFrame bounds an ordinary frame payload (type byte included): the
+// pairwise counter triangle grows quadratically, so 64 MiB carries crowds
+// up to roughly eight thousand workers — past every deployment this
+// protocol targets — while keeping a corrupt length prefix from making a
+// peer allocate unbounded memory. A worker whose statistics outgrow it
+// replies msgError rather than dropping the connection.
 const maxFrame = 1 << 26
+
+// maxSnapFrame bounds checkpoint state-transfer frames (msgSnap,
+// msgRestore), which carry a node's full response log and outgrow
+// maxFrame at a few tens of millions of responses — exactly the
+// long-running nodes whose recovery paths must not fail. Oversized frames
+// are only admitted after the type byte proves them a state transfer, and
+// the receiver allocates incrementally as bytes actually arrive, so a
+// lying length prefix costs an attacker the bytes it claims.
+const maxSnapFrame = 1 << 30
+
+// snapshotFrame reports whether a message type carries checkpoint state
+// transfer and may use the larger frame cap.
+func snapshotFrame(msgType byte) bool {
+	return msgType == msgSnap || msgType == msgRestore
+}
+
+// frameCap returns the payload bound (type byte included) for a message
+// type.
+func frameCap(msgType byte) int {
+	if snapshotFrame(msgType) {
+		return maxSnapFrame
+	}
+	return maxFrame
+}
 
 // errFrameTooBig tags send-side frame-cap violations, so a worker can
 // distinguish "my reply is too large" (report it) from a broken pipe
@@ -82,8 +115,8 @@ func Pipe() (*Conn, *Conn) {
 // send writes one frame and flushes it. An oversized body is rejected
 // before any bytes hit the wire, so the connection stays framed.
 func (c *Conn) send(msgType byte, body []byte) error {
-	if len(body)+1 > maxFrame {
-		return fmt.Errorf("%w: %d bytes (limit %d)", errFrameTooBig, len(body)+1, maxFrame)
+	if limit := frameCap(msgType); len(body)+1 > limit {
+		return fmt.Errorf("%w: %d bytes (limit %d)", errFrameTooBig, len(body)+1, limit)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+1))
@@ -99,7 +132,9 @@ func (c *Conn) send(msgType byte, body []byte) error {
 	return c.bw.Flush()
 }
 
-// recv reads one frame, enforcing the length cap before allocating.
+// recv reads one frame, enforcing the per-type length cap. Payloads past
+// maxFrame (state transfers) are read in bounded chunks, growing the
+// buffer only as bytes arrive.
 func (c *Conn) recv() (byte, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
@@ -109,21 +144,47 @@ func (c *Conn) recv() (byte, []byte, error) {
 	if n == 0 {
 		return 0, nil, fmt.Errorf("%w: empty frame", ErrCodec)
 	}
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrCodec, n, maxFrame)
+	if n > maxSnapFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrCodec, n, maxSnapFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.br, payload); err != nil {
+	msgType, err := c.br.ReadByte()
+	if err != nil {
 		return 0, nil, err
 	}
-	return payload[0], payload[1:], nil
+	if int(n) > frameCap(msgType) {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d for message 0x%02x", ErrCodec, n, frameCap(msgType), msgType)
+	}
+	total := int(n) - 1
+	const chunk = 1 << 22
+	payload := make([]byte, 0, min(total, chunk))
+	for len(payload) < total {
+		k := min(chunk, total-len(payload))
+		start := len(payload)
+		payload = slices.Grow(payload, k)[:start+k]
+		if _, err := io.ReadFull(c.br, payload[start:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	return msgType, payload, nil
 }
 
 // Close closes the underlying stream.
 func (c *Conn) Close() error { return c.rw.Close() }
 
+// RemoteError is an application-level failure a worker reported in a
+// msgError frame: the node is healthy and the connection intact, the
+// request itself was rejected (a bad response in a batch, an oversized
+// reply). The replication layer distinguishes it from transport failures —
+// a RemoteError leaves a replica live (every replica of the slice rejects
+// the same request identically), while a broken connection marks it down.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "dist: worker error: " + e.Msg }
+
 // roundTrip sends a request and reads the reply, converting a worker-side
-// msgError into a Go error.
+// msgError into a *RemoteError.
 func (c *Conn) roundTrip(msgType byte, body []byte) (byte, []byte, error) {
 	if err := c.send(msgType, body); err != nil {
 		return 0, nil, err
@@ -133,7 +194,7 @@ func (c *Conn) roundTrip(msgType byte, body []byte) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	if replyType == msgError {
-		return 0, nil, fmt.Errorf("dist: worker error: %s", reply)
+		return 0, nil, &RemoteError{Msg: string(reply)}
 	}
 	return replyType, reply, nil
 }

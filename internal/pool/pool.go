@@ -180,13 +180,26 @@ func NewShardedManager(workers, shards int, policy Policy) (*Manager, error) {
 }
 
 func newManager(workers int, policy Policy, opts core.IncrementalOptions) (*Manager, error) {
-	if err := policy.validate(); err != nil {
-		return nil, err
-	}
 	inc, err := core.NewStreaming(workers, opts)
 	if err != nil {
 		return nil, err
 	}
+	return NewManagerWith(inc, policy)
+}
+
+// NewManagerWith creates a pool over a caller-supplied streaming
+// evaluator. This is how a pool spans a cluster: hand it the
+// coordinator-backed adapter (dist.NewClusterEvaluator) and Review pulls
+// merged statistics from every node — the decisions are identical to a
+// local pool fed the same responses, because the merge is exact and the
+// solves run the same code path. The pool starts every worker on
+// probation; the evaluator must be empty or hold only responses recorded
+// before any lifecycle decisions are wanted.
+func NewManagerWith(inc core.StreamingEvaluator, policy Policy) (*Manager, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	workers := inc.Workers()
 	return &Manager{
 		policy:    policy,
 		inc:       inc,
@@ -259,19 +272,16 @@ func (m *Manager) Review() ([]Decision, error) {
 		return m.states[w] != Fired && counts[w] >= int64(m.policy.MinResponses)
 	}
 	// Spammer screen first: it also protects the interval estimates of the
-	// remaining workers (Section III-E).
+	// remaining workers (Section III-E). The fires it implies are only
+	// collected here; no state changes until the evaluation below has
+	// succeeded, so a failed Review (possible with a cluster-backed
+	// evaluator) leaves the pool untouched and the retry re-emits every
+	// decision instead of silently swallowing the fires.
 	dis := m.inc.MajorityDisagreement()
+	spamFired := make([]bool, len(m.states))
 	for w := range m.states {
-		if !eligible(w) {
-			continue
-		}
-		if dis[w] > m.policy.SpammerDisagreement {
-			m.states[w] = Fired
-			out = append(out, Decision{
-				Worker: w, Action: Fire, State: Fired,
-				Reason: fmt.Sprintf("majority disagreement %.2f above %.2f",
-					dis[w], m.policy.SpammerDisagreement),
-			})
+		if eligible(w) && dis[w] > m.policy.SpammerDisagreement {
+			spamFired[w] = true
 		}
 	}
 	// One EvaluateSubset call over the still-eligible workers: the sharded
@@ -280,13 +290,23 @@ func (m *Manager) Review() ([]Decision, error) {
 	// workers' estimates.
 	var workers []int
 	for w := range m.states {
-		if eligible(w) {
+		if eligible(w) && !spamFired[w] {
 			workers = append(workers, w)
 		}
 	}
 	ests, err := m.inc.EvaluateSubset(workers, core.EvalOptions{Confidence: m.policy.Confidence})
 	if err != nil {
 		return nil, err
+	}
+	for w := range m.states {
+		if spamFired[w] {
+			m.states[w] = Fired
+			out = append(out, Decision{
+				Worker: w, Action: Fire, State: Fired,
+				Reason: fmt.Sprintf("majority disagreement %.2f above %.2f",
+					dis[w], m.policy.SpammerDisagreement),
+			})
+		}
 	}
 	for i, w := range workers {
 		s := m.states[w]
