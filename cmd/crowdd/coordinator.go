@@ -1,0 +1,278 @@
+// Coordinator mode: `crowdd -coordinate "a:7333,b:7333;c:7333,d:7333"`
+// runs the daemon as a cluster head instead of a worker node. It dials
+// every replica of every slice (';' separates slices, ',' separates a
+// slice's replicas), runs the self-healing monitor over them, and serves a
+// small HTTP API for ingestion, evaluation and operations.
+//
+// Exactly one coordinator may own a cluster at a time: replica lockstep —
+// what makes the cross-replica divergence check sound — is enforced by the
+// coordinator's per-slice serialization, which a second coordinator would
+// bypass.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"crowdassess/internal/core"
+	"crowdassess/internal/crowd"
+	"crowdassess/internal/dist"
+)
+
+// parseGroups splits a -coordinate spec into replica address groups:
+// "a,b;c,d" → [[a b] [c d]]. Whitespace around addresses is ignored;
+// empty slices or addresses are rejected.
+func parseGroups(spec string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(spec, ";") {
+		if strings.TrimSpace(g) == "" {
+			return nil, fmt.Errorf("empty replica group in -coordinate %q", spec)
+		}
+		var reps []string
+		for _, a := range strings.Split(g, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("empty replica address in -coordinate %q", spec)
+			}
+			reps = append(reps, a)
+		}
+		groups = append(groups, reps)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("-coordinate needs at least one replica group")
+	}
+	return groups, nil
+}
+
+// buildCluster dials every replica address and assembles the coordinator,
+// wiring each slot's dialer so retries and the monitor's reseed loop can
+// reconnect to (a replacement at) the same address.
+func buildCluster(workers int, groups [][]string, policy dist.Policy) (*dist.Coordinator, error) {
+	specs := make([][]dist.ReplicaSpec, len(groups))
+	var open []*dist.Conn
+	fail := func(err error) (*dist.Coordinator, error) {
+		for _, c := range open {
+			c.Close()
+		}
+		return nil, err
+	}
+	for si, g := range groups {
+		for _, addr := range g {
+			conn, err := dist.DialTCPTimeout(addr, policy.DialTimeout)
+			if err != nil {
+				return fail(err)
+			}
+			open = append(open, conn)
+			specs[si] = append(specs[si], dist.ReplicaSpec{
+				Conn: conn,
+				Dial: func() (*dist.Conn, error) { return dist.DialTCPTimeout(addr, policy.DialTimeout) },
+			})
+		}
+	}
+	// NewCluster takes ownership of every connection from here on.
+	return dist.NewCluster(workers, specs, policy)
+}
+
+// memberView is one membership row as the HTTP endpoints render it: the
+// detector state plus a human-grade heartbeat age.
+type memberView struct {
+	dist.ReplicaHealth
+	LastBeatAgeMS int64 `json:"last_beat_age_ms"`
+}
+
+func membershipView(coord *dist.Coordinator, now time.Time) []memberView {
+	rows := coord.Membership()
+	out := make([]memberView, len(rows))
+	for i, r := range rows {
+		out[i] = memberView{ReplicaHealth: r, LastBeatAgeMS: now.Sub(r.LastBeat).Milliseconds()}
+	}
+	return out
+}
+
+// ingestRec is the JSON shape of one response on POST /ingest.
+type ingestRec struct {
+	Worker int `json:"worker"`
+	Task   int `json:"task"`
+	Answer int `json:"answer"`
+}
+
+// newCoordinatorMux builds the coordinator head's HTTP surface:
+//
+//	GET  /healthz  — "ok" while every slice serves live, "degraded" when
+//	                 any slice is on cached statistics
+//	GET  /statsz   — cluster shape, response totals, per-replica
+//	                 membership (state, heartbeat age, reseed count)
+//	POST /ingest   — JSON array of {worker, task, answer}
+//	GET  /evaluate — merged intervals; ?confidence=0.9
+func newCoordinatorMux(coord *dist.Coordinator) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		degraded := coord.Degraded()
+		status := "ok"
+		if len(degraded) > 0 {
+			status = "degraded"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":          status,
+			"degraded_slices": degraded,
+		})
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		tasks, _ := coord.Tasks()
+		responses, _ := coord.Responses()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"workers":         coord.Workers(),
+			"slices":          coord.Slices(),
+			"live_nodes":      coord.Nodes(),
+			"tasks":           tasks,
+			"responses":       responses,
+			"degraded_slices": coord.Degraded(),
+			"membership":      membershipView(coord, time.Now()),
+		})
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var recs []ingestRec
+		if err := json.NewDecoder(r.Body).Decode(&recs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		batch := make([]dist.Response, len(recs))
+		for i, rec := range recs {
+			batch[i] = dist.Response{Worker: rec.Worker, Task: rec.Task, Answer: crowd.Response(rec.Answer)}
+		}
+		if err := coord.Ingest(batch); err != nil {
+			status := http.StatusBadGateway
+			var re *dist.RemoteError
+			if errors.As(err, &re) {
+				status = http.StatusBadRequest // the batch, not the cluster
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int{"ingested": len(batch)})
+	})
+	mux.HandleFunc("/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		confidence := 0.95
+		if s := r.URL.Query().Get("confidence"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				http.Error(w, "bad confidence: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			confidence = v
+		}
+		ests, err := coord.EvaluateAll(core.EvalOptions{Confidence: confidence})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"confidence": confidence,
+			"stale":      len(coord.Degraded()) > 0,
+			"estimates":  ests,
+		})
+	})
+	return mux
+}
+
+// runCoordinator is coordinator-mode main: dial the cluster, start the
+// self-healing monitor, serve the HTTP head, checkpoint periodically, and
+// drain on signal.
+func runCoordinator(spec string, workers int, health string, policy dist.Policy, mon dist.MonitorOptions, ckptDir string, ckptEvery time.Duration, done <-chan struct{}) error {
+	if workers == 0 {
+		return fmt.Errorf("-workers is required")
+	}
+	if health == "" {
+		return fmt.Errorf("-coordinate requires -health (the coordinator's HTTP API address)")
+	}
+	groups, err := parseGroups(spec)
+	if err != nil {
+		return err
+	}
+	coord, err := buildCluster(workers, groups, policy)
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	mon.CheckpointDir = ckptDir
+	mon.OnEvent = func(e dist.Event) {
+		fmt.Fprintf(os.Stderr, "crowdd: cluster: %s\n", e)
+	}
+	coord.StartMonitor(mon)
+	fmt.Fprintf(os.Stderr, "crowdd: coordinating %d slices × %d nodes for a %d-worker crowd\n",
+		coord.Slices(), coord.Nodes(), workers)
+
+	stopTicker := make(chan struct{})
+	tickerDone := make(chan struct{})
+	if ckptDir != "" && ckptEvery > 0 {
+		go func() {
+			defer close(tickerDone)
+			tick := time.NewTicker(ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if _, err := coord.CheckpointAll(ckptDir); err != nil {
+						fmt.Fprintf(os.Stderr, "crowdd: cluster checkpoint: %v\n", err)
+					}
+				case <-stopTicker:
+					return
+				}
+			}
+		}()
+	} else {
+		close(tickerDone)
+	}
+
+	srv := &http.Server{Addr: health, Handler: newCoordinatorMux(coord)}
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+			return
+		}
+		serveErr <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "crowdd: coordinator API on %s\n", health)
+
+	shutdown := func() error {
+		close(stopTicker)
+		<-tickerDone
+		var err error
+		if ckptDir != "" {
+			if _, err = coord.CheckpointAll(ckptDir); err != nil {
+				err = fmt.Errorf("final cluster checkpoint: %w", err)
+			}
+		}
+		shutdownHealth(srv)
+		return err
+	}
+	select {
+	case err := <-serveErr:
+		if sderr := shutdown(); err == nil {
+			err = sderr
+		}
+		return err
+	case <-done:
+	}
+	fmt.Fprintf(os.Stderr, "crowdd: coordinator shutting down\n")
+	err = shutdown()
+	if serveRes := <-serveErr; err == nil {
+		err = serveRes
+	}
+	return err
+}

@@ -7,6 +7,15 @@
 //
 //	crowdd -listen :7333 -workers 64 [-shards 8] [-health :8333]
 //	       [-checkpoint /var/lib/crowdd/node.ckpt] [-checkpoint-interval 1m]
+//	       [-rpc-timeout 30s]
+//
+// With -coordinate, crowdd runs as the cluster head instead of a worker
+// (see coordinator.go): it dials the listed replica groups, runs the
+// heartbeat monitor with -heartbeat-interval, bounds every cluster RPC by
+// -rpc-timeout, and serves an HTTP ingestion/evaluation/membership API on
+// -health. In that mode -checkpoint names a directory of per-slice
+// snapshots (slice-NNN.ckpt), the same files the monitor's auto-reseed
+// falls back to.
 //
 // -workers is the crowd size (the worker-index space of the responses this
 // node ingests); every node of a cluster and its coordinator must agree on
@@ -53,18 +62,40 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":7333", "TCP address to serve the dist protocol on")
-		nwork     = flag.Int("workers", 0, "crowd size (required; must match the coordinator)")
-		shards    = flag.Int("shards", 0, "local task-stripe shards for concurrent ingestion (0 = GOMAXPROCS)")
-		health    = flag.String("health", "", "optional HTTP address for /healthz and /statsz")
-		ckpt      = flag.String("checkpoint", "", "snapshot file: reloaded on start, rewritten atomically on shutdown and every -checkpoint-interval")
-		ckptEvery = flag.Duration("checkpoint-interval", time.Minute, "how often to rewrite the -checkpoint snapshot (0 disables periodic writes)")
+		listen     = flag.String("listen", ":7333", "TCP address to serve the dist protocol on")
+		nwork      = flag.Int("workers", 0, "crowd size (required; must match the coordinator)")
+		shards     = flag.Int("shards", 0, "local task-stripe shards for concurrent ingestion (0 = GOMAXPROCS)")
+		health     = flag.String("health", "", "optional HTTP address for /healthz and /statsz (required in -coordinate mode)")
+		ckpt       = flag.String("checkpoint", "", "snapshot file (worker) or per-slice snapshot directory (-coordinate): reloaded on start, rewritten atomically on shutdown and every -checkpoint-interval")
+		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "how often to rewrite the -checkpoint snapshot (0 disables periodic writes)")
+		coordinate = flag.String("coordinate", "", `run as cluster head over these replica groups ("a,b;c,d": ';' separates task slices, ',' a slice's replicas)`)
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC stall budget: mid-frame deadline as a worker, cluster RPC timeout as a coordinator (0 = defaults)")
+		hbInterval = flag.Duration("heartbeat-interval", dist.DefaultHeartbeatInterval, "coordinator heartbeat probe interval (-coordinate mode)")
 	)
 	flag.Parse()
-	if err := run(*listen, *nwork, *shards, *health, *ckpt, *ckptEvery); err != nil {
+	var err error
+	if *coordinate != "" {
+		err = coordinatorMain(*coordinate, *nwork, *health, *rpcTimeout, *hbInterval, *ckpt, *ckptEvery)
+	} else {
+		err = run(*listen, *nwork, *shards, *health, *ckpt, *ckptEvery, *rpcTimeout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "crowdd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// coordinatorMain maps the flag surface onto runCoordinator: -rpc-timeout
+// bounds every cluster RPC, -heartbeat-interval paces the failure
+// detector, and SIGINT/SIGTERM drive the graceful drain.
+func coordinatorMain(spec string, workers int, health string, rpcTimeout, hbInterval time.Duration, ckptDir string, ckptEvery time.Duration) error {
+	policy := dist.DefaultPolicy()
+	if rpcTimeout > 0 {
+		policy.RPCTimeout = rpcTimeout
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runCoordinator(spec, workers, health, policy, dist.MonitorOptions{Interval: hbInterval}, ckptDir, ckptEvery, ctx.Done())
 }
 
 // loadCheckpoint restores the worker from a snapshot file. A missing file
@@ -90,11 +121,11 @@ func saveCheckpoint(worker *dist.Worker, path string) error {
 	return dist.WriteSnapshot(path, worker.Snapshot())
 }
 
-func run(listen string, workers, shards int, health, ckpt string, ckptEvery time.Duration) error {
+func run(listen string, workers, shards int, health, ckpt string, ckptEvery time.Duration, rpcTimeout time.Duration) error {
 	if workers == 0 {
 		return fmt.Errorf("-workers is required")
 	}
-	worker, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shards, Name: listen})
+	worker, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shards, Name: listen, FrameTimeout: rpcTimeout})
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,8 @@
 package crowdassess
 
 import (
+	"net"
+
 	"crowdassess/internal/aggregate"
 	"crowdassess/internal/baseline"
 	"crowdassess/internal/core"
@@ -353,6 +355,58 @@ func WriteDistSnapshot(path string, s *DistSnapshot) error {
 func ReadDistSnapshot(path string) (*DistSnapshot, error) {
 	return dist.ReadSnapshot(path)
 }
+
+// Self-healing clusters — every RPC deadline-bounded with classified
+// retry/backoff, a heartbeat failure detector publishing a membership
+// view, automatic re-seeding of dead replicas, and degraded (stale-read)
+// service when a slice loses everyone. The fault-injection transport is
+// exported too, so deployments can chaos-test their own topologies.
+type (
+	// DistPolicy bounds and classifies cluster RPCs: dial/RPC/state
+	// timeouts, retry count, jittered exponential backoff, strict-read
+	// mode.
+	DistPolicy = dist.Policy
+	// DistReplicaSpec is one replica slot: its open connection plus an
+	// optional dialer used by retries and the monitor's auto-reseed.
+	DistReplicaSpec = dist.ReplicaSpec
+	// ClusterMonitorOptions tunes the heartbeat failure detector and
+	// auto-reseed loop.
+	ClusterMonitorOptions = dist.MonitorOptions
+	// ClusterMonitor is a running failure detector (see StartMonitor on
+	// the coordinator).
+	ClusterMonitor = dist.Monitor
+	// ClusterEvent is one liveness/recovery transition the monitor
+	// observed.
+	ClusterEvent = dist.Event
+	// ReplicaHealth is one replica's row of the Membership() view.
+	ReplicaHealth = dist.ReplicaHealth
+	// FaultConn wraps a connection with deterministic write-side fault
+	// injection (delays, mid-frame hangs, resets, partitions).
+	FaultConn = dist.FaultConn
+	// Chaos orchestrates seeded fault strikes across a set of FaultConns
+	// and records a replayable event log.
+	Chaos = dist.Chaos
+)
+
+// DefaultDistPolicy returns the cluster RPC policy deployments start
+// from: bounded dials and RPCs, two retries with jittered exponential
+// backoff, degraded reads enabled.
+func DefaultDistPolicy() DistPolicy { return dist.DefaultPolicy() }
+
+// NewSelfHealingCluster builds a replicated coordinator whose slots carry
+// dialers, so retries can reconnect and the heartbeat monitor (start it
+// with StartMonitor) can re-seed replacements at dead replicas'
+// addresses. groups[i] is the replica set owning task slice i.
+func NewSelfHealingCluster(workers int, groups [][]DistReplicaSpec, policy DistPolicy) (*DistributedEvaluator, error) {
+	return dist.NewCluster(workers, groups, policy)
+}
+
+// NewFaultConn wraps a connection for deterministic fault injection.
+func NewFaultConn(inner net.Conn) *FaultConn { return dist.NewFaultConn(inner) }
+
+// NewChaos returns a seeded chaos orchestrator; the same seed over the
+// same connection set replays the same strike schedule.
+func NewChaos(seed uint64) *Chaos { return dist.NewChaos(seed) }
 
 // Distributed replicate sweeps: experiment replicates partitioned across
 // worker nodes with unchanged per-replicate seeding, so a cluster returns

@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"crowdassess"
 )
@@ -141,6 +142,7 @@ func main() {
 	}
 
 	killAndRestore(ds, localEsts)
+	selfHealing(ds, localEsts)
 }
 
 // killAndRestore is the fault-tolerance walkthrough: a replicated cluster
@@ -259,4 +261,121 @@ func killAndRestore(ds *crowdassess.Dataset, want []crowdassess.WorkerEstimate) 
 		}
 	}
 	fmt.Printf("after kill, checkpoint, restore and a second kill — bit-identical to uninterrupted: %v\n", exact)
+}
+
+// selfHealing is the hands-off version of the same story: the heartbeat
+// monitor — not an operator — notices a dead replica and re-seeds a
+// replacement from the survivor, while ingestion keeps flowing and the
+// membership view narrates the recovery.
+func selfHealing(ds *crowdassess.Dataset, want []crowdassess.WorkerEstimate) {
+	workers, tasks := ds.Workers(), ds.Tasks()
+
+	newNode := func(name string) *crowdassess.DistWorker {
+		w, err := crowdassess.NewDistWorker(crowdassess.DistWorkerOptions{Workers: workers, Shards: 2, Name: name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+
+	// One slice, two replicas. Each slot's dialer resolves through
+	// `current` — the in-process stand-in for a stable network address
+	// that outlives the process behind it. With crowdd daemons, this is
+	// what `crowdd -coordinate "a,b"` wires up from TCP addresses.
+	var mu sync.Mutex
+	current := []*crowdassess.DistWorker{newNode("heal-0"), newNode("heal-1")}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, w := range current {
+			w.Close()
+		}
+	}()
+	specs := make([]crowdassess.DistReplicaSpec, len(current))
+	for ri := range specs {
+		conn, err := current[ri].SelfConn()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ri := ri
+		specs[ri] = crowdassess.DistReplicaSpec{
+			Conn: conn,
+			Dial: func() (*crowdassess.DistConn, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return current[ri].SelfConn()
+			},
+		}
+	}
+	coord, err := crowdassess.NewSelfHealingCluster(workers, [][]crowdassess.DistReplicaSpec{specs}, crowdassess.DefaultDistPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	coord.StartMonitor(crowdassess.ClusterMonitorOptions{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 1,
+		DownAfter:    2,
+		ReseedEvery:  40 * time.Millisecond,
+		OnEvent:      func(e crowdassess.ClusterEvent) { fmt.Printf("  monitor: %s\n", e) },
+	})
+
+	var stream []crowdassess.DistResponse
+	for w := 0; w < workers; w++ {
+		for task := 0; task < tasks; task++ {
+			if ds.Attempted(w, task) {
+				stream = append(stream, crowdassess.DistResponse{Worker: w, Task: task, Answer: ds.Response(w, task)})
+			}
+		}
+	}
+
+	fmt.Println("\nself-healing: monitor on, killing a replica mid-stream")
+	half := len(stream) / 2
+	if err := coord.Ingest(stream[:half]); err != nil {
+		log.Fatal(err)
+	}
+
+	// The replica dies; a fresh empty process comes up at its address. No
+	// operator steps follow — the monitor detects the death and replays
+	// the slice's state into the newcomer.
+	mu.Lock()
+	dead := current[0]
+	current[0] = newNode("heal-0-reborn")
+	mu.Unlock()
+	dead.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		view := coord.Membership()
+		if view[0].State == "alive" && view[0].Reseeds >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("monitor never re-seeded the replica: %+v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, m := range coord.Membership() {
+		fmt.Printf("  membership: slice %d replica %d (%s) %s, reseeds %d\n",
+			m.Slice, m.Replica, m.Node, m.State, m.Reseeds)
+	}
+
+	if err := coord.Ingest(stream[half:]); err != nil {
+		log.Fatal(err)
+	}
+	got, err := coord.EvaluateAll(crowdassess.Options{Confidence: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := true
+	for i := range got {
+		if (got[i].Err == nil) != (want[i].Err == nil) {
+			exact = false
+		} else if got[i].Err == nil &&
+			(math.Float64bits(got[i].Interval.Lo) != math.Float64bits(want[i].Interval.Lo) ||
+				math.Float64bits(got[i].Interval.Hi) != math.Float64bits(want[i].Interval.Hi)) {
+			exact = false
+		}
+	}
+	fmt.Printf("auto-healed with zero failed ingests — bit-identical to uninterrupted: %v\n", exact)
 }

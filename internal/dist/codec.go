@@ -32,7 +32,11 @@ import (
 //	1 — hello/ingest/pullStats/pullTotal/sweep
 //	2 — adds pullCounts, pullDis (spammer-screen tallies), pullSnap and
 //	    restore (checkpoint state transfer) for fault-tolerant pools
-const ProtocolVersion = 2
+//	3 — adds ping/pong heartbeats for the failure detector; the hello now
+//	    carries the node's identity (so membership views name real nodes)
+//	    and its incarnation, so a reconnect can tell a network blip (same
+//	    process, state intact) from a restart (state lost, needs reseed)
+const ProtocolVersion = 3
 
 // statsCodecVersion versions the statistics payload independently of the
 // protocol, so exports persisted to disk stay readable across protocol
@@ -293,18 +297,34 @@ func DecodeStats(b []byte) (*core.StatsExport, error) {
 
 // helloMsg is the handshake in both directions: the coordinator announces
 // its protocol version and crowd size; the worker echoes its own (plus its
-// shard count) or refuses.
+// shard count and identity) or refuses.
 type helloMsg struct {
 	Version int
 	Workers int
 	Shards  int
+	// Name is the peer's free-form identity (a listen address, a replica
+	// label). Diagnostic: it labels membership views, never routing.
+	Name string
+	// Instance is the worker's incarnation: drawn fresh each process start,
+	// stable for the process's life. A reconnect that lands on a different
+	// incarnation than before reached a restarted (state-empty) node — it
+	// must be reseeded, never silently retried against. Zero means the peer
+	// does not report one.
+	Instance uint64
 }
 
 func encodeHello(m helloMsg) []byte {
-	buf := make([]byte, 0, 12)
+	name := m.Name
+	if len(name) > maxNodeName {
+		name = name[:maxNodeName]
+	}
+	buf := make([]byte, 0, 32+len(name))
 	buf = appendUvarint(buf, uint64(m.Version))
 	buf = appendUvarint(buf, uint64(m.Workers))
 	buf = appendUvarint(buf, uint64(m.Shards))
+	buf = appendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	buf = appendU64le(buf, m.Instance)
 	return buf
 }
 
@@ -319,6 +339,18 @@ func decodeHello(b []byte) (helloMsg, error) {
 		return m, err
 	}
 	if m.Shards, err = r.count("shard count", maxStatsWorkers); err != nil {
+		return m, err
+	}
+	n, err := r.count("node identity length", maxNodeName)
+	if err != nil {
+		return m, err
+	}
+	name, err := r.bytes(n, "node identity")
+	if err != nil {
+		return m, err
+	}
+	m.Name = string(name)
+	if m.Instance, err = r.u64le("node incarnation"); err != nil {
 		return m, err
 	}
 	return m, r.done()

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
@@ -44,12 +45,32 @@ type Response struct {
 type Coordinator struct {
 	workers int
 	slices  []*slice
+	policy  Policy
+
+	monitorMu sync.Mutex
+	monitor   *Monitor
+}
+
+// ReplicaSpec describes one replica slot of a task slice for NewCluster:
+// an open connection, and optionally how to reconnect to (a replacement
+// for) the node behind it, which is what retries and the self-healing
+// monitor redial through.
+type ReplicaSpec struct {
+	// Conn is the slot's open connection; the coordinator takes
+	// ownership. Required.
+	Conn *Conn
+	// Dial re-establishes a connection to this slot — typically the same
+	// listen address, where a restarted crowdd (or its replacement)
+	// comes back up. The function must bound its own blocking (use
+	// DialTCPTimeout). Optional: without it the slot is not redialable
+	// and only RestoreNode can refill it.
+	Dial func() (*Conn, error)
 }
 
 // NewCoordinator handshakes the given worker connections into a cluster
 // over a crowd of the given size, one connection per task slice (no
-// replication). It takes ownership of the connections: they are closed on
-// handshake failure and by Close.
+// replication), under DefaultPolicy. It takes ownership of the
+// connections: they are closed on handshake failure and by Close.
 func NewCoordinator(workers int, conns []*Conn) (*Coordinator, error) {
 	if len(conns) == 0 {
 		return nil, errors.New("dist: coordinator needs at least one worker connection")
@@ -62,20 +83,40 @@ func NewCoordinator(workers int, conns []*Conn) (*Coordinator, error) {
 }
 
 // NewReplicatedCoordinator handshakes worker connections into a replicated
-// cluster: groups[i] is the replica set jointly owning task slice i, each
-// replica a node that will ingest — and must agree on — that slice's
-// every response. Replicas make a slice survive node death: as long as one
-// replica lives, the slice serves, and dead replicas can be replaced with
-// RestoreNode without losing the slice. It takes ownership of all
-// connections: they are closed on handshake failure and by Close.
+// cluster under DefaultPolicy: groups[i] is the replica set jointly owning
+// task slice i. See NewCluster for the full form (per-slot dialers, custom
+// policy). It takes ownership of all connections: they are closed on
+// handshake failure and by Close.
 func NewReplicatedCoordinator(workers int, groups [][]*Conn) (*Coordinator, error) {
+	specs := make([][]ReplicaSpec, len(groups))
+	for si, g := range groups {
+		specs[si] = make([]ReplicaSpec, len(g))
+		for ri, conn := range g {
+			specs[si][ri] = ReplicaSpec{Conn: conn}
+		}
+	}
+	return NewCluster(workers, specs, DefaultPolicy())
+}
+
+// NewCluster handshakes worker connections into a replicated cluster:
+// groups[si] is the replica set jointly owning task slice si, each replica
+// a node that will ingest — and must agree on — that slice's every
+// response. Replicas make a slice survive node death: as long as one
+// replica lives, the slice serves; dead slots are refilled by RestoreNode,
+// or automatically by a Monitor when the slot carries a dialer. The policy
+// bounds every RPC (deadlines, retries, backoff) and sets the degraded-
+// read mode. NewCluster takes ownership of all connections: they are
+// closed on handshake failure and by Close.
+func NewCluster(workers int, groups [][]ReplicaSpec, policy Policy) (*Coordinator, error) {
 	if len(groups) == 0 {
 		return nil, errors.New("dist: coordinator needs at least one task slice")
 	}
 	closeAll := func() {
 		for _, g := range groups {
-			for _, conn := range g {
-				conn.Close()
+			for _, spec := range g {
+				if spec.Conn != nil {
+					spec.Conn.Close()
+				}
 			}
 		}
 	}
@@ -83,19 +124,27 @@ func NewReplicatedCoordinator(workers int, groups [][]*Conn) (*Coordinator, erro
 		closeAll()
 		return nil, fmt.Errorf("dist: need at least 3 crowd workers, have %d", workers)
 	}
-	c := &Coordinator{workers: workers}
+	c := &Coordinator{workers: workers, policy: policy}
 	for si, g := range groups {
 		if len(g) == 0 {
 			closeAll()
 			return nil, fmt.Errorf("dist: slice %d has no replica connections", si)
 		}
 		s := &slice{}
-		for ri, conn := range g {
-			n, err := handshake(workers, conn)
+		for ri, spec := range g {
+			if spec.Conn == nil {
+				closeAll()
+				return nil, fmt.Errorf("dist: slice %d replica %d has no connection", si, ri)
+			}
+			spec.Conn.SetTimeout(policy.RPCTimeout)
+			n, err := handshake(workers, spec.Conn)
 			if err != nil {
 				closeAll()
 				return nil, fmt.Errorf("dist: handshake with slice %d replica %d: %w", si, ri, err)
 			}
+			n.id = uint64(si)<<32 | uint64(ri)
+			n.dial = spec.Dial
+			n.lastBeat = time.Now()
 			s.replicas = append(s.replicas, n)
 		}
 		c.slices = append(c.slices, s)
@@ -103,7 +152,11 @@ func NewReplicatedCoordinator(workers int, groups [][]*Conn) (*Coordinator, erro
 	return c, nil
 }
 
-// handshake negotiates protocol version and crowd size with one node.
+// Policy returns the failure policy the coordinator runs under.
+func (c *Coordinator) Policy() Policy { return c.policy }
+
+// handshake negotiates protocol version and crowd size with one node. The
+// connection's timeout must already be armed by the caller.
 func handshake(workers int, conn *Conn) (*node, error) {
 	replyType, reply, err := conn.roundTrip(msgHello, encodeHello(helloMsg{Version: ProtocolVersion, Workers: workers}))
 	if err == nil && replyType != msgHelloOK {
@@ -119,7 +172,84 @@ func handshake(workers int, conn *Conn) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &node{conn: conn, shards: hello.Shards}, nil
+	return &node{conn: conn, shards: hello.Shards, name: hello.Name, instance: hello.Instance}, nil
+}
+
+// idempotent reports whether a request may be safely re-sent after a
+// transient failure: the read-only pulls, heartbeats and sweeps. Ingest is
+// not — a timed-out batch may already be applied, and re-sending it would
+// trip duplicate detection mid-frame — so a failing ingest marks the
+// replica down instead (its siblings carry the slice; that IS the write
+// path's sibling retry).
+func idempotent(msgType byte) bool {
+	switch msgType {
+	case msgPullStats, msgPullCounts, msgPullDis, msgPullTotal, msgPullSnap, msgPing, msgSweep:
+		return true
+	}
+	return false
+}
+
+// call runs one round-trip on a node under the policy: the message type's
+// deadline budget and — for idempotent requests that fail transiently —
+// reconnect-and-retry with jittered exponential backoff. A timed-out frame
+// leaves the byte stream unframed, so every retry re-dials the slot first;
+// a slot without a dialer gets no retries.
+func (c *Coordinator) call(n *node, msgType byte, body []byte, wantReply byte) ([]byte, error) {
+	reply, err := n.roundTrip(c.policy, msgType, body, wantReply)
+	if err == nil || !idempotent(msgType) || !Transient(err) || c.policy.Retries <= 0 || n.dial == nil {
+		return reply, err
+	}
+	errs := []error{err}
+	for attempt := 0; attempt < c.policy.Retries; attempt++ {
+		if d := c.policy.backoff(attempt, n.id); d > 0 {
+			time.Sleep(d)
+		}
+		if rerr := c.redial(n); rerr != nil {
+			// The slot is unreachable, not just flaky; further attempts
+			// would re-dial the same dead address. Hand recovery to the
+			// monitor's reseed pass.
+			errs = append(errs, rerr)
+			break
+		}
+		if reply, err = n.roundTrip(c.policy, msgType, body, wantReply); err == nil || !Transient(err) {
+			return reply, err
+		}
+		errs = append(errs, err)
+	}
+	return nil, errors.Join(errs...)
+}
+
+// redial replaces a node's connection through its dialer, re-running the
+// handshake before the swap. A reconnect is only safe when it reaches the
+// SAME incarnation of the worker — same process, slice state intact; a
+// different incarnation means the node restarted empty, and retrying a
+// pull against it would return hollow statistics as authoritative. That
+// case fails here (permanently, for this slot's current life): the caller
+// marks the slot down and the monitor reseeds it through the full
+// RestoreNode replay instead.
+func (c *Coordinator) redial(n *node) error {
+	conn, err := n.dial()
+	if err != nil {
+		return err
+	}
+	conn.SetTimeout(c.policy.RPCTimeout)
+	fresh, err := handshake(c.workers, conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	n.mu.Lock()
+	if n.instance != 0 && fresh.instance != 0 && fresh.instance != n.instance {
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("dist: reconnect reached a restarted node (incarnation %x, had %x): state lost, slot needs reseed", fresh.instance, n.instance)
+	}
+	old := n.conn
+	n.conn = conn
+	n.shards = fresh.shards
+	n.mu.Unlock()
+	old.Close()
+	return nil
 }
 
 // Workers returns the crowd size the cluster is indexed by.
@@ -148,8 +278,10 @@ func (c *Coordinator) LiveReplicas(si int) int {
 	return len(s.liveLocked())
 }
 
-// Close closes every worker connection, live or down.
+// Close stops the self-healing monitor (if running) and closes every
+// worker connection, live or down.
 func (c *Coordinator) Close() error {
+	c.StopMonitor()
 	var first error
 	for _, s := range c.slices {
 		s.mu.Lock()
@@ -159,13 +291,62 @@ func (c *Coordinator) Close() error {
 			n.mu.Unlock()
 			// Down replicas were already closed; their second Close's
 			// error is noise.
-			if first == nil && err != nil && !n.down {
+			if first == nil && err != nil && n.state != Down {
 				first = err
 			}
 		}
 		s.mu.Unlock()
 	}
 	return first
+}
+
+// ReplicaHealth is one replica slot's entry in the membership view.
+type ReplicaHealth struct {
+	Slice    int       `json:"slice"`
+	Replica  int       `json:"replica"`
+	Node     string    `json:"node,omitempty"` // remote identity from the handshake
+	State    string    `json:"state"`          // alive | suspect | down
+	LastBeat time.Time `json:"last_beat"`      // last proof of life (probe or any RPC)
+	Missed   int       `json:"missed"`         // consecutive missed heartbeats
+	Reseeds  int       `json:"reseeds"`        // times the slot was re-seeded
+}
+
+// Membership returns the failure detector's view of every replica slot,
+// in (slice, replica) order — what crowdd's health endpoints report.
+func (c *Coordinator) Membership() []ReplicaHealth {
+	var view []ReplicaHealth
+	for si, s := range c.slices {
+		s.mu.Lock()
+		for ri, n := range s.replicas {
+			view = append(view, ReplicaHealth{
+				Slice:    si,
+				Replica:  ri,
+				Node:     n.name,
+				State:    n.state.String(),
+				LastBeat: n.lastBeat,
+				Missed:   n.missed,
+				Reseeds:  n.reseeds,
+			})
+		}
+		s.mu.Unlock()
+	}
+	return view
+}
+
+// Degraded returns the slices currently serving reads from their last-good
+// cache because every replica is gone — statistics pulled from them are
+// stale until a replica is reseeded and a validated pull lands. Empty
+// means every slice is serving live.
+func (c *Coordinator) Degraded() []int {
+	var out []int
+	for si, s := range c.slices {
+		s.mu.Lock()
+		if s.stale {
+			out = append(out, si)
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // sliceOf routes task t to its owning slice, deterministically, spreading
@@ -185,11 +366,13 @@ func (c *Coordinator) sliceOf(t int) int {
 	return int(h % uint64(len(c.slices)))
 }
 
-// roundTrip runs one serialized request/response on a node and checks the
-// reply type.
-func (n *node) roundTrip(msgType byte, body []byte, wantReply byte) ([]byte, error) {
+// roundTrip runs one serialized request/response on a node under the
+// policy's deadline budget for the message class and checks the reply
+// type.
+func (n *node) roundTrip(p Policy, msgType byte, body []byte, wantReply byte) ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.conn.SetTimeout(p.timeoutFor(msgType))
 	replyType, reply, err := n.conn.roundTrip(msgType, body)
 	if err != nil {
 		return nil, err

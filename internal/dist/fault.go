@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultConn wraps a net.Conn with switchable fault injection, for chaos
+// tests and failure drills. Reads always delegate to the wrapped
+// connection — deadlines keep working natively — and every fault is
+// expressed on the write side, which is how real networks hurt a framed
+// peer:
+//
+//   - delay: each write sleeps first (slow link; exercises deadline
+//     re-arming without tripping it)
+//   - hang: after N more forwarded bytes, writes are silently swallowed —
+//     the peer sees a frame stop arriving mid-way and its own read
+//     deadline must cut it loose (a partition is a hang after 0 bytes)
+//   - reset: the underlying connection is closed; both ends see it die
+//
+// A FaultConn is safe for concurrent use to the extent the wrapped
+// connection is.
+type FaultConn struct {
+	net.Conn
+
+	mu        sync.Mutex
+	delay     time.Duration
+	hanging   bool
+	hangAfter int64
+	swallowed bool // a hang dropped bytes: the stream is beyond repair
+}
+
+// NewFaultConn wraps a connection with no faults armed.
+func NewFaultConn(inner net.Conn) *FaultConn {
+	return &FaultConn{Conn: inner}
+}
+
+// DelayWrites makes every subsequent write sleep d before touching the
+// wire. 0 clears the delay.
+func (f *FaultConn) DelayWrites(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// HangWritesAfter forwards n more bytes, then blackholes every write:
+// claimed as sent, never delivered. The peer experiences a genuine
+// mid-frame stall, bounded only by its own read deadline. n = 0 hangs
+// immediately (an outbound partition).
+func (f *FaultConn) HangWritesAfter(n int) {
+	f.mu.Lock()
+	f.hanging = true
+	f.hangAfter = int64(n)
+	f.mu.Unlock()
+}
+
+// Partition blackholes all subsequent writes — HangWritesAfter(0).
+func (f *FaultConn) Partition() { f.HangWritesAfter(0) }
+
+// Reset closes the underlying connection: the hard kill. Both ends see the
+// stream die.
+func (f *FaultConn) Reset() error { return f.Conn.Close() }
+
+// Heal clears delay and hang faults. If a hang already swallowed bytes,
+// the byte stream is desynced beyond repair — resuming writes would feed
+// the peer's frame parser misaligned bytes, something no real network can
+// do (TCP delivers a genuine prefix or dies) — so healing such a
+// connection closes it instead: the stall ends in connection death, and
+// recovery is a reconnect, which is what the coordinator's retry layer
+// does.
+func (f *FaultConn) Heal() {
+	f.mu.Lock()
+	f.delay = 0
+	f.hanging = false
+	f.hangAfter = 0
+	dead := f.swallowed
+	f.mu.Unlock()
+	if dead {
+		f.Conn.Close()
+	}
+}
+
+func (f *FaultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	delay := f.delay
+	hanging := f.hanging
+	forward := int64(len(b))
+	if hanging {
+		if forward > f.hangAfter {
+			forward = f.hangAfter
+		}
+		f.hangAfter -= forward
+		if forward < int64(len(b)) {
+			f.swallowed = true
+		}
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !hanging {
+		return f.Conn.Write(b)
+	}
+	if forward > 0 {
+		if _, err := f.Conn.Write(b[:forward]); err != nil {
+			return int(forward), err
+		}
+	}
+	// Swallow the rest silently: the sender believes the bytes left, the
+	// receiver never sees them — the canonical mid-frame stall.
+	return len(b), nil
+}
+
+// FaultKind selects one of Chaos's fault repertoires.
+type FaultKind int
+
+const (
+	// FaultDelay slows one connection's writes by a seeded duration in
+	// (0, MaxDelay].
+	FaultDelay FaultKind = iota
+	// FaultHang blackholes one connection's writes after a seeded number
+	// of further bytes (0–63): a mid-frame hang or outbound partition.
+	FaultHang
+	// FaultReset closes one connection outright.
+	FaultReset
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDelay:
+		return "delay"
+	case FaultHang:
+		return "hang"
+	case FaultReset:
+		return "reset"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Chaos drives a seeded, fully deterministic fault schedule over a set of
+// FaultConns: the same seed, registration order and Strike sequence always
+// produce the same faults on the same connections. Register connections
+// with Wrap, then call Strike to land one fault at a time — the chaos
+// suite interleaves strikes with real traffic.
+type Chaos struct {
+	mu    sync.Mutex
+	state uint64
+	conns []*FaultConn
+	log   []string
+
+	// MaxDelay caps FaultDelay injections; zero selects 5ms.
+	MaxDelay time.Duration
+}
+
+// NewChaos returns a chaos driver with the given seed.
+func NewChaos(seed uint64) *Chaos {
+	return &Chaos{state: seed}
+}
+
+// Wrap registers a connection with the chaos driver and returns the
+// fault-injecting wrapper to use in its place. Registration order is part
+// of the deterministic schedule.
+func (ch *Chaos) Wrap(inner net.Conn) *FaultConn {
+	fc := NewFaultConn(inner)
+	ch.mu.Lock()
+	ch.conns = append(ch.conns, fc)
+	ch.mu.Unlock()
+	return fc
+}
+
+// rand steps the splitmix64 stream; caller holds ch.mu.
+func (ch *Chaos) rand() uint64 {
+	ch.state = splitmix64(ch.state)
+	return ch.state
+}
+
+// Strike lands one seeded fault on one registered connection and returns a
+// description for the chaos event log. kinds restricts the repertoire;
+// empty means all kinds. With no registered connections it is a no-op.
+func (ch *Chaos) Strike(kinds ...FaultKind) string {
+	if len(kinds) == 0 {
+		kinds = []FaultKind{FaultDelay, FaultHang, FaultReset}
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if len(ch.conns) == 0 {
+		return "strike: no connections"
+	}
+	target := int(ch.rand() % uint64(len(ch.conns)))
+	kind := kinds[int(ch.rand()%uint64(len(kinds)))]
+	fc := ch.conns[target]
+	var desc string
+	switch kind {
+	case FaultDelay:
+		max := ch.MaxDelay
+		if max <= 0 {
+			max = 5 * time.Millisecond
+		}
+		d := time.Duration(ch.rand()%uint64(max)) + 1
+		fc.DelayWrites(d)
+		desc = fmt.Sprintf("strike: delay conn %d by %s", target, d)
+	case FaultHang:
+		n := int(ch.rand() % 64)
+		fc.HangWritesAfter(n)
+		desc = fmt.Sprintf("strike: hang conn %d after %d bytes", target, n)
+	case FaultReset:
+		fc.Reset()
+		desc = fmt.Sprintf("strike: reset conn %d", target)
+	}
+	ch.log = append(ch.log, desc)
+	return desc
+}
+
+// Log returns the descriptions of every strike so far, in order — the
+// chaos event log tests persist as a CI failure artifact.
+func (ch *Chaos) Log() []string {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	out := make([]string, len(ch.log))
+	copy(out, ch.log)
+	return out
+}
+
+// HealAll clears delay and hang faults on every registered connection
+// (reset connections stay dead; see FaultConn.Heal for why healed streams
+// may still need a reconnect).
+func (ch *Chaos) HealAll() {
+	ch.mu.Lock()
+	conns := append([]*FaultConn(nil), ch.conns...)
+	ch.mu.Unlock()
+	for _, fc := range conns {
+		fc.Heal()
+	}
+}

@@ -6,15 +6,57 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
-// node is one replica connection; mu serializes request/response
-// round-trips on it.
+// Liveness is a replica's failure-detector state.
+type Liveness int
+
+const (
+	// Alive: answering probes (or any RPC) within the policy budget.
+	Alive Liveness = iota
+	// Suspect: missed at least MonitorOptions.SuspectAfter consecutive
+	// heartbeats. Still served and still in every fan-out — suspicion is
+	// a warning, not a verdict — but one the membership view surfaces.
+	Suspect
+	// Down: the connection broke, or DownAfter heartbeats went
+	// unanswered. Out of every fan-out; only a reseed (automatic or
+	// RestoreNode) brings the slot back.
+	Down
+)
+
+// String renders the state the way health endpoints report it.
+func (l Liveness) String() string {
+	switch l {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("liveness(%d)", int(l))
+}
+
+// node is one replica slot; mu serializes request/response round-trips on
+// its connection. The failure-detector fields (state, lastBeat, missed,
+// reseeds, lastReseed) are guarded by the owning slice's mu, like the old
+// down flag was.
 type node struct {
-	mu     sync.Mutex
-	conn   *Conn
-	shards int  // node-local shard count, from the handshake
-	down   bool // connection broken; guarded by the owning slice's mu
+	mu       sync.Mutex
+	conn     *Conn
+	shards   int    // node-local shard count, from the handshake
+	name     string // remote identity, from the handshake (may be empty)
+	instance uint64 // remote incarnation, from the handshake (0 = unreported)
+	id       uint64 // stable slot identity (slice<<32|replica): backoff jitter key
+
+	dial func() (*Conn, error) // reconnects to (a replacement for) this slot; nil = not redialable
+
+	state      Liveness
+	lastBeat   time.Time // last proof of life: successful probe or RPC
+	missed     int       // consecutive missed heartbeats
+	reseeds    int       // times this slot was re-seeded with a fresh node
+	lastReseed time.Time // last reseed attempt, for the rate limit
 }
 
 // slice is one task slice and the replica set that jointly owns it. mu
@@ -26,17 +68,38 @@ type node struct {
 type slice struct {
 	mu       sync.Mutex
 	replicas []*node
+
+	// lastGood caches the authoritative reply of the latest validated
+	// pull, per message type: what degraded reads serve when every
+	// replica of the slice is gone. stale marks the slice as currently
+	// serving from that cache.
+	lastGood map[byte][]byte
+	stale    bool
 }
 
-// liveLocked returns the live replicas in attach order; caller holds s.mu.
+// liveLocked returns the non-down replicas in attach order; caller holds
+// s.mu. Suspect replicas are included: they still hold the slice's state
+// and still answer — suspicion only primes the detector.
 func (s *slice) liveLocked() []*node {
 	live := make([]*node, 0, len(s.replicas))
 	for _, n := range s.replicas {
-		if !n.down {
+		if n.state != Down {
 			live = append(live, n)
 		}
 	}
 	return live
+}
+
+// beatLocked records proof of life; caller holds the owning slice's mu. A
+// down node is never resurrected by a late reply — its connection is
+// already closed; only a reseed brings the slot back.
+func beatLocked(n *node, at time.Time) {
+	if n.state == Down {
+		return
+	}
+	n.lastBeat = at
+	n.missed = 0
+	n.state = Alive
 }
 
 // ErrNoReplica reports that every replica of a task slice is gone: the
@@ -61,8 +124,19 @@ func isRemote(err error) bool {
 // markDownLocked retires a replica whose connection failed; caller holds
 // the owning slice's mu.
 func markDownLocked(n *node) {
-	n.down = true
+	n.state = Down
 	n.conn.Close()
+}
+
+// degradable reports whether a request may be served from the slice's
+// last-good cache when every replica is gone: only the read-only
+// statistics pulls. Writes (ingest) and state transfers never degrade.
+func degradable(msgType byte) bool {
+	switch msgType {
+	case msgPullStats, msgPullCounts, msgPullDis, msgPullTotal:
+		return true
+	}
+	return false
 }
 
 // broadcast runs one request on every live replica of slice si and
@@ -72,6 +146,10 @@ func markDownLocked(n *node) {
 // replica holds the same state and rejects the same requests. With
 // validate set, all surviving replies must be byte-identical (the codec is
 // canonical, so equal state ⇔ equal bytes); a mismatch is ErrDivergence.
+//
+// A read-only pull against a slice with no live replica degrades to the
+// cached reply of the last validated pull — flagged via Degraded — unless
+// the policy opts into StrictReads, which preserves ErrNoReplica.
 func (c *Coordinator) broadcast(si int, msgType byte, body []byte, wantReply byte, validate bool) ([]byte, error) {
 	s := c.slices[si]
 	s.mu.Lock()
@@ -82,7 +160,7 @@ func (c *Coordinator) broadcast(si int, msgType byte, body []byte, wantReply byt
 func (c *Coordinator) broadcastLocked(si int, s *slice, msgType byte, body []byte, wantReply byte, validate bool) ([]byte, error) {
 	live := s.liveLocked()
 	if len(live) == 0 {
-		return nil, fmt.Errorf("%w %d", ErrNoReplica, si)
+		return c.degradeLocked(si, s, msgType, nil)
 	}
 	replies := make([][]byte, len(live))
 	errs := make([]error, len(live))
@@ -91,18 +169,22 @@ func (c *Coordinator) broadcastLocked(si int, s *slice, msgType byte, body []byt
 		wg.Add(1)
 		go func(i int, n *node) {
 			defer wg.Done()
-			replies[i], errs[i] = n.roundTrip(msgType, body, wantReply)
+			replies[i], errs[i] = c.call(n, msgType, body, wantReply)
 		}(i, n)
 	}
 	wg.Wait()
+	now := time.Now()
 	var appErr error
 	var lost []error
 	ok := replies[:0]
 	for i, n := range live {
 		switch {
 		case errs[i] == nil:
+			beatLocked(n, now)
 			ok = append(ok, replies[i])
 		case isRemote(errs[i]):
+			// The node answered — it is alive — but refused the request.
+			beatLocked(n, now)
 			if appErr == nil {
 				appErr = errs[i]
 			}
@@ -115,7 +197,7 @@ func (c *Coordinator) broadcastLocked(si int, s *slice, msgType byte, body []byt
 		return nil, appErr
 	}
 	if len(ok) == 0 {
-		return nil, fmt.Errorf("%w %d: %w", ErrNoReplica, si, errors.Join(lost...))
+		return c.degradeLocked(si, s, msgType, errors.Join(lost...))
 	}
 	if validate {
 		for _, reply := range ok[1:] {
@@ -123,8 +205,33 @@ func (c *Coordinator) broadcastLocked(si int, s *slice, msgType byte, body []byt
 				return nil, fmt.Errorf("%w: slice %d replicas disagree on request 0x%02x", ErrDivergence, si, msgType)
 			}
 		}
+		if degradable(msgType) {
+			if s.lastGood == nil {
+				s.lastGood = make(map[byte][]byte)
+			}
+			s.lastGood[msgType] = ok[0]
+			s.stale = false
+		}
 	}
 	return ok[0], nil
+}
+
+// degradeLocked resolves a request against a slice with no live replica:
+// read-only pulls serve the last validated reply (marked stale) unless the
+// policy is strict; everything else — and a slice that died before its
+// first validated pull — fails with ErrNoReplica. cause carries the
+// transport errors that emptied the slice, if this very call did.
+func (c *Coordinator) degradeLocked(si int, s *slice, msgType byte, cause error) ([]byte, error) {
+	if !c.policy.StrictReads && degradable(msgType) {
+		if cached, hit := s.lastGood[msgType]; hit {
+			s.stale = true
+			return cached, nil
+		}
+	}
+	if cause != nil {
+		return nil, fmt.Errorf("%w %d: %w", ErrNoReplica, si, cause)
+	}
+	return nil, fmt.Errorf("%w %d", ErrNoReplica, si)
 }
 
 // firstLocked runs one request on the first live replica of the slice that
@@ -134,7 +241,7 @@ func (c *Coordinator) broadcastLocked(si int, s *slice, msgType byte, body []byt
 func (c *Coordinator) firstLocked(si int, s *slice, msgType byte, body []byte, wantReply byte) ([]byte, error) {
 	var lost []error
 	for _, n := range s.liveLocked() {
-		reply, err := n.roundTrip(msgType, body, wantReply)
+		reply, err := c.call(n, msgType, body, wantReply)
 		if err == nil {
 			return reply, nil
 		}
@@ -163,7 +270,7 @@ func (c *Coordinator) sweepSlice(si int, body []byte) ([]byte, error) {
 			return nil, fmt.Errorf("%w %d", ErrNoReplica, si)
 		}
 		n := live[0]
-		reply, err := n.roundTrip(msgSweep, body, msgSweepOK)
+		reply, err := c.call(n, msgSweep, body, msgSweepOK)
 		if err == nil || isRemote(err) {
 			return reply, err
 		}
@@ -255,6 +362,7 @@ func (c *Coordinator) RestoreNode(si int, conn *Conn, snap *Snapshot) error {
 		conn.Close()
 		return fmt.Errorf("dist: slice %d out of range 0…%d", si, len(c.slices)-1)
 	}
+	conn.SetTimeout(c.policy.RPCTimeout)
 	n, err := handshake(c.workers, conn)
 	if err != nil {
 		conn.Close()
@@ -291,10 +399,33 @@ func (c *Coordinator) RestoreNode(si int, conn *Conn, snap *Snapshot) error {
 			}
 		}
 	}
-	if _, err := n.roundTrip(msgRestore, payload, msgRestoreOK); err != nil {
+	if _, err := n.roundTrip(c.policy, msgRestore, payload, msgRestoreOK); err != nil {
 		conn.Close()
 		return fmt.Errorf("dist: seeding replacement for slice %d: %w", si, err)
 	}
-	s.replicas = append(s.replicas, n)
+	s.attachLocked(si, n, time.Now())
 	return nil
+}
+
+// attachLocked installs a seeded replacement into the replica set; caller
+// holds s.mu. The first down slot is replaced in place — the newcomer
+// inherits the slot's identity, dialer and reseed history — so repeated
+// failures do not grow the replica list without bound. With no down slot
+// the node joins as a net-new replica.
+func (s *slice) attachLocked(si int, n *node, at time.Time) {
+	n.lastBeat = at
+	for ri, old := range s.replicas {
+		if old.state == Down {
+			n.id = old.id
+			if n.dial == nil {
+				n.dial = old.dial
+			}
+			n.reseeds = old.reseeds + 1
+			n.lastReseed = at
+			s.replicas[ri] = n
+			return
+		}
+	}
+	n.id = uint64(si)<<32 | uint64(len(s.replicas))
+	s.replicas = append(s.replicas, n)
 }

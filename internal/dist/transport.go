@@ -32,6 +32,8 @@ const (
 	msgSnap       byte = 0x10 // worker → coordinator: EncodeSnapshot payload
 	msgRestore    byte = 0x11 // coordinator → worker: EncodeSnapshot payload
 	msgRestoreOK  byte = 0x12 // worker → coordinator: countsMsg after restore
+	msgPing       byte = 0x13 // coordinator → worker: empty heartbeat probe
+	msgPong       byte = 0x14 // worker → coordinator: countsMsg liveness reply
 )
 
 // maxFrame bounds an ordinary frame payload (type byte included): the
@@ -71,6 +73,20 @@ func frameCap(msgType byte) int {
 // (hang up).
 var errFrameTooBig = errors.New("dist: frame exceeds limit")
 
+// deadliner is the per-direction deadline surface net.Conn and net.Pipe
+// both provide; transports without it (plain files, test buffers) simply
+// run unbounded.
+type deadliner interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
+
+// frameChunk is the unit deadlines are armed over: a frame larger than
+// this has its deadline re-armed as each chunk completes, so timeouts
+// measure stall, not size — a huge-but-moving state transfer survives, a
+// peer frozen mid-frame is cut loose within one budget.
+const frameChunk = 1 << 22
+
 // Conn is one framed, bidirectional coordinator↔worker byte stream. The
 // same frame codec runs over every transport; TCP and the in-process pipe
 // differ only in the underlying ReadWriteCloser. A Conn is not safe for
@@ -81,17 +97,87 @@ type Conn struct {
 	rw io.ReadWriteCloser
 	br *bufio.Reader
 	bw *bufio.Writer
+
+	// timeout bounds every send and recv, armed per frame chunk; 0 runs
+	// unbounded. Mutated only between round-trips by the conn's owner
+	// (the coordinator holds the node lock, a worker serves from one
+	// goroutine), never concurrently with I/O.
+	timeout time.Duration
+	// idleWait makes recv wait for the first byte of a frame without a
+	// deadline — the worker side, where an idle coordinator connection is
+	// healthy — while still bounding the rest of the frame once it has
+	// begun. Coordinators leave it false: a reply they are waiting on is
+	// already due.
+	idleWait bool
+	dl       deadliner // c.rw's deadline surface, nil when it has none
 }
 
 // NewConn frames an arbitrary byte stream. The caller hands over ownership:
 // Close closes the underlying stream.
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	return &Conn{rw: rw, br: bufio.NewReader(rw), bw: bufio.NewWriter(rw)}
+	c := &Conn{rw: rw, br: bufio.NewReader(rw), bw: bufio.NewWriter(rw)}
+	c.dl, _ = rw.(deadliner)
+	return c
 }
 
-// DialTCP connects to a crowdd worker listening on addr.
-func DialTCP(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+// SetTimeout bounds every subsequent frame send and receive on the
+// connection: the deadline is armed per frame chunk, so it trips on a
+// stalled peer, never on a large-but-moving transfer. 0 removes the bound.
+// It is a no-op on transports without deadline support. Not safe to call
+// concurrently with an in-flight send or recv — set it between
+// round-trips, under whatever lock serializes them.
+func (c *Conn) SetTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.timeout = d
+}
+
+// setIdleWait selects the worker-side receive discipline: waiting for the
+// first byte of the next request is unbounded (idle connections are
+// healthy), but once a frame has begun the remainder must keep arriving
+// within the timeout — a coordinator that stalls mid-frame cannot wedge
+// the serving goroutine, or the drain in Worker.Close, forever.
+func (c *Conn) setIdleWait(v bool) { c.idleWait = v }
+
+// armRead re-arms the read deadline for the next chunk; clear removes it.
+func (c *Conn) armRead() error {
+	if c.dl == nil {
+		return nil
+	}
+	if c.timeout <= 0 {
+		return c.dl.SetReadDeadline(time.Time{})
+	}
+	return c.dl.SetReadDeadline(time.Now().Add(c.timeout))
+}
+
+func (c *Conn) clearRead() error {
+	if c.dl == nil {
+		return nil
+	}
+	return c.dl.SetReadDeadline(time.Time{})
+}
+
+// armWrite re-arms the write deadline for the next chunk.
+func (c *Conn) armWrite() error {
+	if c.dl == nil {
+		return nil
+	}
+	if c.timeout <= 0 {
+		return c.dl.SetWriteDeadline(time.Time{})
+	}
+	return c.dl.SetWriteDeadline(time.Now().Add(c.timeout))
+}
+
+// DialTCP connects to a crowdd worker listening on addr, unbounded.
+func DialTCP(addr string) (*Conn, error) { return DialTCPTimeout(addr, 0) }
+
+// DialTCPTimeout connects to a crowdd worker listening on addr, giving up
+// after the timeout (0 = unbounded). The timeout covers the TCP connect
+// only; arm per-RPC deadlines with Conn.SetTimeout (the coordinator does
+// this from its Policy).
+func DialTCPTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 	}
@@ -112,11 +198,16 @@ func Pipe() (*Conn, *Conn) {
 	return NewConn(a), NewConn(b)
 }
 
-// send writes one frame and flushes it. An oversized body is rejected
-// before any bytes hit the wire, so the connection stays framed.
+// send writes one frame and flushes it, under the connection's write
+// deadline (re-armed per chunk — stall-based, not size-based). An
+// oversized body is rejected before any bytes hit the wire, so the
+// connection stays framed.
 func (c *Conn) send(msgType byte, body []byte) error {
 	if limit := frameCap(msgType); len(body)+1 > limit {
 		return fmt.Errorf("%w: %d bytes (limit %d)", errFrameTooBig, len(body)+1, limit)
+	}
+	if err := c.armWrite(); err != nil {
+		return err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+1))
@@ -126,19 +217,50 @@ func (c *Conn) send(msgType byte, body []byte) error {
 	if err := c.bw.WriteByte(msgType); err != nil {
 		return err
 	}
-	if _, err := c.bw.Write(body); err != nil {
+	for off := 0; off < len(body); off += frameChunk {
+		if err := c.armWrite(); err != nil {
+			return err
+		}
+		if _, err := c.bw.Write(body[off:min(off+frameChunk, len(body))]); err != nil {
+			return err
+		}
+	}
+	if err := c.armWrite(); err != nil {
 		return err
 	}
 	return c.bw.Flush()
 }
 
-// recv reads one frame, enforcing the per-type length cap. Payloads past
-// maxFrame (state transfers) are read in bounded chunks, growing the
-// buffer only as bytes arrive.
+// recv reads one frame, enforcing the per-type length cap and the
+// connection's read deadline (re-armed per chunk). In idle-wait mode the
+// first byte of a frame is waited for without a deadline; from that byte
+// on, the frame must keep arriving. Payloads past maxFrame (state
+// transfers) are read in bounded chunks, growing the buffer only as bytes
+// arrive.
 func (c *Conn) recv() (byte, []byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return 0, nil, err
+	if c.idleWait {
+		if err := c.clearRead(); err != nil {
+			return 0, nil, err
+		}
+		first, err := c.br.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		hdr[0] = first
+		if err := c.armRead(); err != nil {
+			return 0, nil, err
+		}
+		if _, err := io.ReadFull(c.br, hdr[1:]); err != nil {
+			return 0, nil, err
+		}
+	} else {
+		if err := c.armRead(); err != nil {
+			return 0, nil, err
+		}
+		if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			return 0, nil, err
+		}
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 {
@@ -155,10 +277,12 @@ func (c *Conn) recv() (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d for message 0x%02x", ErrCodec, n, frameCap(msgType), msgType)
 	}
 	total := int(n) - 1
-	const chunk = 1 << 22
-	payload := make([]byte, 0, min(total, chunk))
+	payload := make([]byte, 0, min(total, frameChunk))
 	for len(payload) < total {
-		k := min(chunk, total-len(payload))
+		if err := c.armRead(); err != nil {
+			return 0, nil, err
+		}
+		k := min(frameChunk, total-len(payload))
 		start := len(payload)
 		payload = slices.Grow(payload, k)[:start+k]
 		if _, err := io.ReadFull(c.br, payload[start:]); err != nil {

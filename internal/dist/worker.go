@@ -1,6 +1,8 @@
 package dist
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -23,9 +25,25 @@ type WorkerOptions struct {
 	// ingestion (0 selects GOMAXPROCS).
 	Shards int
 	// Name is a free-form node identity stamped into checkpoints this
-	// worker produces (typically its listen address). Diagnostic only.
+	// worker produces and echoed in the handshake (typically its listen
+	// address), so coordinator membership views name real nodes.
+	// Diagnostic only.
 	Name string
+	// FrameTimeout bounds how long a coordinator may stall mid-frame —
+	// request or reply — before the connection is cut: waiting idle for
+	// the next request is always unbounded (idle connections are
+	// healthy), but once a frame has begun, every chunk of it must land
+	// within this budget, so a hung peer can never wedge a serving
+	// goroutine or the drain in Close. 0 selects DefaultFrameTimeout;
+	// negative disables the bound.
+	FrameTimeout time.Duration
 }
+
+// DefaultFrameTimeout is the worker-side mid-frame stall budget: generous
+// against slow links (deadlines are re-armed per 4 MiB chunk, so transfer
+// size never trips it), tight enough that a frozen coordinator frees the
+// connection in seconds.
+const DefaultFrameTimeout = 30 * time.Second
 
 // WorkerStats is a point-in-time snapshot for health/stats endpoints.
 type WorkerStats struct {
@@ -45,9 +63,10 @@ type WorkerStats struct {
 // goroutines, so two coordinaton connections (or one coordinator's
 // concurrent batches) never corrupt state.
 type Worker struct {
-	opts  WorkerOptions
-	inc   *core.ShardedIncremental
-	start time.Time
+	opts     WorkerOptions
+	inc      *core.ShardedIncremental
+	start    time.Time
+	instance uint64 // incarnation: fresh per Worker, announced in the hello
 
 	mu        sync.Mutex
 	closed    bool
@@ -66,6 +85,12 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if opts.Shards == 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
+	if opts.FrameTimeout == 0 {
+		opts.FrameTimeout = DefaultFrameTimeout
+	}
+	if opts.FrameTimeout < 0 {
+		opts.FrameTimeout = 0
+	}
 	inc, err := core.NewShardedIncremental(opts.Workers, opts.Shards)
 	if err != nil {
 		return nil, err
@@ -74,9 +99,22 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 		opts:      opts,
 		inc:       inc,
 		start:     time.Now(),
+		instance:  newInstanceID(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*Conn]*sync.Mutex),
 	}, nil
+}
+
+// newInstanceID draws a worker incarnation: unique per process start with
+// overwhelming probability, never zero (zero on the wire means "not
+// reported"). Its only job is to make "reconnected to the same state" and
+// "reconnected to a restarted, empty node" distinguishable.
+func newInstanceID() uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		return binary.BigEndian.Uint64(b[:]) | 1
+	}
+	return uint64(time.Now().UnixNano()) | 1
 }
 
 // Stats snapshots the node for health endpoints.
@@ -180,6 +218,10 @@ func (w *Worker) track(c *Conn) (*sync.Mutex, bool) {
 	if w.closed {
 		return nil, false
 	}
+	// Worker receive discipline: idle waits are unbounded, frames that
+	// have begun — and every reply — must keep moving.
+	c.SetTimeout(w.opts.FrameTimeout)
+	c.setIdleWait(true)
 	serving := new(sync.Mutex)
 	w.conns[c] = serving
 	w.wg.Add(1)
@@ -277,7 +319,7 @@ func (w *Worker) handle(msgType byte, body []byte) (byte, []byte, error) {
 		if m.Workers != w.opts.Workers {
 			return 0, nil, fmt.Errorf("dist: coordinator expects %d crowd workers, node is configured for %d", m.Workers, w.opts.Workers)
 		}
-		return msgHelloOK, encodeHello(helloMsg{Version: ProtocolVersion, Workers: w.opts.Workers, Shards: w.opts.Shards}), nil
+		return msgHelloOK, encodeHello(helloMsg{Version: ProtocolVersion, Workers: w.opts.Workers, Shards: w.opts.Shards, Name: w.opts.Name, Instance: w.instance}), nil
 
 	case msgIngest:
 		batch, err := decodeIngest(body)
@@ -307,6 +349,12 @@ func (w *Worker) handle(msgType byte, body []byte) (byte, []byte, error) {
 
 	case msgPullCounts:
 		return msgCounts, encodeCounts(countsMsg{Tasks: w.inc.Tasks(), Responses: w.inc.Responses()}), nil
+
+	case msgPing:
+		// The heartbeat: cheap by construction (two running counters, no
+		// locks beyond their atomics), answered even mid-ingest. The
+		// counts let the failure detector double as lag telemetry.
+		return msgPong, encodeCounts(countsMsg{Tasks: w.inc.Tasks(), Responses: w.inc.Responses()}), nil
 
 	case msgPullDis:
 		attempted, disagree := w.inc.DisagreementCounts()
