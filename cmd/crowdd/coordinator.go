@@ -23,6 +23,7 @@ import (
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/dist"
+	"crowdassess/internal/store"
 )
 
 // parseGroups splits a -coordinate spec into replica address groups:
@@ -192,7 +193,7 @@ func newCoordinatorMux(coord *dist.Coordinator) *http.ServeMux {
 // runCoordinator is coordinator-mode main: dial the cluster, start the
 // self-healing monitor, serve the HTTP head, checkpoint periodically, and
 // drain on signal.
-func runCoordinator(spec string, workers int, health string, policy dist.Policy, mon dist.MonitorOptions, ckptDir string, ckptEvery time.Duration, done <-chan struct{}) error {
+func runCoordinator(spec string, workers int, health string, policy dist.Policy, mon dist.MonitorOptions, cfg storageConfig, done <-chan struct{}) error {
 	if workers == 0 {
 		return fmt.Errorf("-workers is required")
 	}
@@ -208,7 +209,23 @@ func runCoordinator(spec string, workers int, health string, policy dist.Policy,
 		return err
 	}
 	defer coord.Close()
-	mon.CheckpointDir = ckptDir
+	// WAL mode: one store per task slice. Every acked fan-out is journaled,
+	// the periodic checkpoint is an O(delta) compact snapshot plus journal
+	// truncate, and the monitor's reseed rebuilds a fully-dead slice from
+	// its store (zero acked loss) instead of a stale CCKP file.
+	var sliceStores []*store.Store
+	if cfg.wal != "" {
+		sliceStores, err = openSliceStores(cfg.wal, coord.Slices(), cfg.fsync)
+		if err != nil {
+			return err
+		}
+		defer closeStores(sliceStores)
+		if err := coord.AttachSliceStores(sliceStores); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "crowdd: journaling %d slices under %s\n", coord.Slices(), cfg.wal)
+	}
+	mon.CheckpointDir = cfg.ckpt
 	mon.OnEvent = func(e dist.Event) {
 		fmt.Fprintf(os.Stderr, "crowdd: cluster: %s\n", e)
 	}
@@ -216,17 +233,28 @@ func runCoordinator(spec string, workers int, health string, policy dist.Policy,
 	fmt.Fprintf(os.Stderr, "crowdd: coordinating %d slices × %d nodes for a %d-worker crowd\n",
 		coord.Slices(), coord.Nodes(), workers)
 
+	persist, persistEvery := func() error { return nil }, time.Duration(0)
+	switch {
+	case cfg.wal != "":
+		persist, persistEvery = coord.CheckpointCompactAll, cfg.snapEvery
+	case cfg.ckpt != "":
+		persist = func() error {
+			_, err := coord.CheckpointAll(cfg.ckpt)
+			return err
+		}
+		persistEvery = cfg.ckptEvery // 0 keeps the documented "final write only"
+	}
 	stopTicker := make(chan struct{})
 	tickerDone := make(chan struct{})
-	if ckptDir != "" && ckptEvery > 0 {
+	if persistEvery > 0 {
 		go func() {
 			defer close(tickerDone)
-			tick := time.NewTicker(ckptEvery)
+			tick := time.NewTicker(persistEvery)
 			defer tick.Stop()
 			for {
 				select {
 				case <-tick.C:
-					if _, err := coord.CheckpointAll(ckptDir); err != nil {
+					if err := persist(); err != nil {
 						fmt.Fprintf(os.Stderr, "crowdd: cluster checkpoint: %v\n", err)
 					}
 				case <-stopTicker:
@@ -253,8 +281,8 @@ func runCoordinator(spec string, workers int, health string, policy dist.Policy,
 		close(stopTicker)
 		<-tickerDone
 		var err error
-		if ckptDir != "" {
-			if _, err = coord.CheckpointAll(ckptDir); err != nil {
+		if cfg.wal != "" || cfg.ckpt != "" {
+			if err = persist(); err != nil {
 				err = fmt.Errorf("final cluster checkpoint: %w", err)
 			}
 		}

@@ -188,7 +188,7 @@ func TestRunCoordinatorLifecycle(t *testing.T) {
 	runErr := make(chan error, 1)
 	go func() {
 		runErr <- runCoordinator(addr, crowdSize, healthAddr, dist.DefaultPolicy(),
-			dist.MonitorOptions{Interval: 50 * time.Millisecond}, ckptDir, 0, done)
+			dist.MonitorOptions{Interval: 50 * time.Millisecond}, storageConfig{ckpt: ckptDir}, done)
 	}()
 
 	deadline := time.Now().Add(10 * time.Second)
@@ -216,13 +216,13 @@ func TestRunCoordinatorLifecycle(t *testing.T) {
 }
 
 func TestRunCoordinatorRejectsBadFlags(t *testing.T) {
-	if err := runCoordinator("a", 0, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, "", 0, nil); err == nil {
+	if err := runCoordinator("a", 0, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, nil); err == nil {
 		t.Fatal("missing -workers accepted")
 	}
-	if err := runCoordinator("a", 5, "", dist.DefaultPolicy(), dist.MonitorOptions{}, "", 0, nil); err == nil {
+	if err := runCoordinator("a", 5, "", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, nil); err == nil {
 		t.Fatal("missing -health accepted")
 	}
-	if err := runCoordinator("", 5, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, "", 0, nil); err == nil {
+	if err := runCoordinator("", 5, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, nil); err == nil {
 		t.Fatal("empty -coordinate spec accepted")
 	}
 }

@@ -22,14 +22,29 @@
 // it, and the protocol handshake enforces that. -shards sets the node's
 // local task-stripe count for concurrent ingestion (default GOMAXPROCS).
 //
-// With -checkpoint, the daemon is restartable without losing its task
-// slice: the snapshot file is reloaded on start (a missing file is a fresh
-// start; a corrupt one refuses to start rather than serve skewed
+// Two persistence modes exist, mutually exclusive:
+//
+// With -checkpoint (legacy), the daemon is restartable without losing its
+// task slice: the snapshot file is reloaded on start (a missing file is a
+// fresh start; a corrupt one refuses to start rather than serve skewed
 // statistics), rewritten atomically every -checkpoint-interval, and
 // written one final time during graceful shutdown — after the listener has
 // drained, so the snapshot captures every acknowledged response. Writes go
 // through a temp file and rename; a crash mid-write never truncates the
 // previous checkpoint.
+//
+// With -wal DIR, the daemon runs the storage engine: every acknowledged
+// ingest batch is journaled to a CRC-framed write-ahead log before the ack
+// goes out (durability per -fsync: always, interval, or never), and every
+// -snapshot-interval a compact O(delta) snapshot is cut and the journal
+// truncated behind it. On startup the engine recovers from the newest
+// valid snapshot plus the WAL tail, truncating at the first torn record —
+// a crash (even a power cut, under -fsync always) loses no acked batch.
+// A one-shot -migrate-checkpoint FILE loads a legacy CCKP snapshot into an
+// empty WAL store and pins it with a compact snapshot. In -coordinate
+// mode, -wal journals per task slice (DIR/slice-NNN) on the coordinator
+// side, and the monitor's auto-reseed rebuilds a fully-dead slice from its
+// slice store instead of a legacy checkpoint.
 //
 // With -health, the daemon serves:
 //
@@ -66,18 +81,24 @@ func main() {
 		nwork      = flag.Int("workers", 0, "crowd size (required; must match the coordinator)")
 		shards     = flag.Int("shards", 0, "local task-stripe shards for concurrent ingestion (0 = GOMAXPROCS)")
 		health     = flag.String("health", "", "optional HTTP address for /healthz and /statsz (required in -coordinate mode)")
-		ckpt       = flag.String("checkpoint", "", "snapshot file (worker) or per-slice snapshot directory (-coordinate): reloaded on start, rewritten atomically on shutdown and every -checkpoint-interval")
+		ckpt       = flag.String("checkpoint", "", "legacy snapshot file (worker) or per-slice snapshot directory (-coordinate): reloaded on start, rewritten atomically on shutdown and every -checkpoint-interval; mutually exclusive with -wal")
 		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "how often to rewrite the -checkpoint snapshot (0 disables periodic writes)")
+		wal        = flag.String("wal", "", "WAL storage-engine directory: acked ingest batches are journaled before the ack and compacted into O(delta) snapshots every -snapshot-interval; mutually exclusive with -checkpoint")
+		fsyncSpec  = flag.String("fsync", "always", "WAL append durability: always (fsync per record), interval (group commit), never")
+		snapEvery  = flag.Duration("snapshot-interval", time.Minute, "how often to cut a compact WAL snapshot and truncate the journal behind it (-wal mode; must be positive)")
+		migrate    = flag.String("migrate-checkpoint", "", "one-shot migration: load this legacy -checkpoint file into an empty -wal store on startup (worker mode)")
 		coordinate = flag.String("coordinate", "", `run as cluster head over these replica groups ("a,b;c,d": ';' separates task slices, ',' a slice's replicas)`)
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC stall budget: mid-frame deadline as a worker, cluster RPC timeout as a coordinator (0 = defaults)")
 		hbInterval = flag.Duration("heartbeat-interval", dist.DefaultHeartbeatInterval, "coordinator heartbeat probe interval (-coordinate mode)")
 	)
 	flag.Parse()
-	var err error
-	if *coordinate != "" {
-		err = coordinatorMain(*coordinate, *nwork, *health, *rpcTimeout, *hbInterval, *ckpt, *ckptEvery)
-	} else {
-		err = run(*listen, *nwork, *shards, *health, *ckpt, *ckptEvery, *rpcTimeout)
+	cfg, err := validateStorage(*ckpt, *ckptEvery, *wal, *fsyncSpec, *snapEvery, *migrate)
+	if err == nil {
+		if *coordinate != "" {
+			err = coordinatorMain(*coordinate, *nwork, *health, *rpcTimeout, *hbInterval, cfg)
+		} else {
+			err = run(*listen, *nwork, *shards, *health, cfg, *rpcTimeout)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crowdd: %v\n", err)
@@ -88,14 +109,14 @@ func main() {
 // coordinatorMain maps the flag surface onto runCoordinator: -rpc-timeout
 // bounds every cluster RPC, -heartbeat-interval paces the failure
 // detector, and SIGINT/SIGTERM drive the graceful drain.
-func coordinatorMain(spec string, workers int, health string, rpcTimeout, hbInterval time.Duration, ckptDir string, ckptEvery time.Duration) error {
+func coordinatorMain(spec string, workers int, health string, rpcTimeout, hbInterval time.Duration, cfg storageConfig) error {
 	policy := dist.DefaultPolicy()
 	if rpcTimeout > 0 {
 		policy.RPCTimeout = rpcTimeout
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return runCoordinator(spec, workers, health, policy, dist.MonitorOptions{Interval: hbInterval}, ckptDir, ckptEvery, ctx.Done())
+	return runCoordinator(spec, workers, health, policy, dist.MonitorOptions{Interval: hbInterval}, cfg, ctx.Done())
 }
 
 // loadCheckpoint restores the worker from a snapshot file. A missing file
@@ -121,21 +142,38 @@ func saveCheckpoint(worker *dist.Worker, path string) error {
 	return dist.WriteSnapshot(path, worker.Snapshot())
 }
 
-func run(listen string, workers, shards int, health, ckpt string, ckptEvery time.Duration, rpcTimeout time.Duration) error {
+func run(listen string, workers, shards int, health string, cfg storageConfig, rpcTimeout time.Duration) error {
 	if workers == 0 {
 		return fmt.Errorf("-workers is required")
 	}
-	worker, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shards, Name: listen, FrameTimeout: rpcTimeout})
+	st, err := cfg.openWorkerStore()
 	if err != nil {
 		return err
 	}
-	if ckpt != "" {
-		restored, err := loadCheckpoint(worker, ckpt)
+	if st != nil {
+		defer st.Close()
+	}
+	worker, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shards, Name: listen, FrameTimeout: rpcTimeout, Store: st})
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		recovered, err := recoverWorker(worker, st, cfg)
+		if err != nil {
+			return err
+		}
+		if cfg.migrate != "" {
+			fmt.Fprintf(os.Stderr, "crowdd: migrated %d responses from %s into WAL store %s\n", recovered, cfg.migrate, cfg.wal)
+		} else if recovered > 0 {
+			fmt.Fprintf(os.Stderr, "crowdd: recovered %d responses from WAL store %s\n", recovered, cfg.wal)
+		}
+	} else if cfg.ckpt != "" {
+		restored, err := loadCheckpoint(worker, cfg.ckpt)
 		if err != nil {
 			return err
 		}
 		if restored >= 0 {
-			fmt.Fprintf(os.Stderr, "crowdd: restored %d responses from %s\n", restored, ckpt)
+			fmt.Fprintf(os.Stderr, "crowdd: restored %d responses from %s\n", restored, cfg.ckpt)
 		}
 	}
 	l, err := net.Listen("tcp", listen)
@@ -164,19 +202,28 @@ func run(listen string, workers, shards int, health, ckpt string, ckptEvery time
 		fmt.Fprintf(os.Stderr, "crowdd: health endpoint on %s\n", health)
 	}
 
-	// Periodic checkpoints while serving; the final authoritative write
-	// happens after the drain below.
+	// Periodic persistence while serving; the final authoritative write
+	// happens after the drain below. WAL mode cuts compact snapshots
+	// (O(delta): the journal is already durable, the snapshot just lets it
+	// be truncated); legacy mode rewrites the full CCKP file.
+	persist, persistEvery := func() error { return nil }, time.Duration(0)
+	switch {
+	case st != nil:
+		persist, persistEvery = worker.CheckpointCompact, cfg.snapEvery
+	case cfg.ckpt != "" && cfg.ckptEvery > 0:
+		persist, persistEvery = func() error { return saveCheckpoint(worker, cfg.ckpt) }, cfg.ckptEvery
+	}
 	stopTicker := make(chan struct{})
 	tickerDone := make(chan struct{})
-	if ckpt != "" && ckptEvery > 0 {
+	if persistEvery > 0 {
 		go func() {
 			defer close(tickerDone)
-			tick := time.NewTicker(ckptEvery)
+			tick := time.NewTicker(persistEvery)
 			defer tick.Stop()
 			for {
 				select {
 				case <-tick.C:
-					if err := saveCheckpoint(worker, ckpt); err != nil {
+					if err := persist(); err != nil {
 						fmt.Fprintf(os.Stderr, "crowdd: checkpoint: %v\n", err)
 					}
 				case <-stopTicker:
@@ -201,8 +248,15 @@ func run(listen string, workers, shards int, health, ckpt string, ckptEvery time
 		<-tickerDone
 		worker.Close() // stops the listener; Serve returns nil on graceful close
 		var err error
-		if ckpt != "" {
-			if err = saveCheckpoint(worker, ckpt); err != nil {
+		switch {
+		case st != nil:
+			// Every acked batch is already in the WAL; the final compact
+			// snapshot just makes the next startup's replay trivial.
+			if err = worker.CheckpointCompact(); err != nil {
+				err = fmt.Errorf("final compact snapshot: %w", err)
+			}
+		case cfg.ckpt != "":
+			if err = saveCheckpoint(worker, cfg.ckpt); err != nil {
 				err = fmt.Errorf("final checkpoint: %w", err)
 			}
 		}

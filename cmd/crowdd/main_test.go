@@ -6,9 +6,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/dist"
+	"crowdassess/internal/store"
 )
 
 func newTestWorker(t *testing.T) *dist.Worker {
@@ -108,5 +110,199 @@ func TestCheckpointCorruptionRefusesStart(t *testing.T) {
 	fresh := newTestWorker(t)
 	if _, err := loadCheckpoint(fresh, path); err == nil || !strings.Contains(err.Error(), "ckpt") {
 		t.Fatalf("corrupt checkpoint load: %v", err)
+	}
+}
+
+// TestValidateStorageFlags pins the persistence flag matrix: the two modes
+// are mutually exclusive, intervals must be sane, -fsync must parse, and
+// migration needs a WAL target.
+func TestValidateStorageFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		ckpt      string
+		ckptEvery time.Duration
+		wal       string
+		fsync     string
+		snapEvery time.Duration
+		migrate   string
+		wantErr   string
+	}{
+		{name: "no persistence", fsync: "always"},
+		{name: "legacy only", ckpt: "node.ckpt", ckptEvery: time.Minute, fsync: "always"},
+		{name: "wal only", wal: "waldir", fsync: "always", snapEvery: time.Minute},
+		{name: "wal interval fsync", wal: "waldir", fsync: "interval", snapEvery: time.Second},
+		{name: "wal never fsync", wal: "waldir", fsync: "never", snapEvery: time.Second},
+		{name: "wal with migration", wal: "waldir", fsync: "always", snapEvery: time.Minute, migrate: "old.ckpt"},
+		{name: "both modes", ckpt: "node.ckpt", wal: "waldir", fsync: "always", snapEvery: time.Minute, wantErr: "mutually exclusive"},
+		{name: "zero snapshot interval", wal: "waldir", fsync: "always", snapEvery: 0, wantErr: "must be positive"},
+		{name: "negative snapshot interval", wal: "waldir", fsync: "always", snapEvery: -time.Second, wantErr: "must be positive"},
+		{name: "negative checkpoint interval", ckpt: "node.ckpt", ckptEvery: -time.Minute, fsync: "always", wantErr: "negative"},
+		{name: "bad fsync", wal: "waldir", fsync: "sometimes", snapEvery: time.Minute, wantErr: "fsync"},
+		{name: "migration without wal", fsync: "always", migrate: "old.ckpt", wantErr: "requires -wal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := validateStorage(tc.ckpt, tc.ckptEvery, tc.wal, tc.fsync, tc.snapEvery, tc.migrate)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				if cfg.wal != tc.wal || cfg.ckpt != tc.ckpt || cfg.migrate != tc.migrate {
+					t.Fatalf("config dropped flag values: %+v", cfg)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid flags accepted: %+v", cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	// The parsed fsync policy must map to the engine's, not just not-error.
+	cfg, err := validateStorage("", 0, "waldir", "never", time.Minute, "")
+	if err != nil || cfg.fsync != store.FsyncNever {
+		t.Fatalf("fsync never parsed to %v (err %v)", cfg.fsync, err)
+	}
+}
+
+// TestWALLifecycle drives the daemon's WAL restart story at the helper
+// level: a store-backed worker journals coordinator ingests, and a restart
+// through recoverWorker rebuilds the evaluator exactly.
+func TestWALLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := validateStorage("", 0, dir, "never", time.Minute, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cfg.openWorkerStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dist.NewWorker(dist.WorkerOptions{Workers: 5, Shards: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := w.SelfConn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := dist.NewCoordinator(5, []*dist.Conn{conn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []dist.Response
+	for task := 0; task < 40; task++ {
+		for cw := 0; cw < 5; cw++ {
+			if (task+cw)%3 == 0 {
+				continue
+			}
+			batch = append(batch, dist.Response{Worker: cw, Task: task, Answer: crowd.Response(1 + crowdassessResponse(cw, task))})
+		}
+	}
+	if err := coord.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	want := w.Evaluator().Responses()
+	coord.Close()
+	w.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := cfg.openWorkerStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	w2, err := dist.NewWorker(dist.WorkerOptions{Workers: 5, Shards: 2, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w2.Close() })
+	n, err := recoverWorker(w2, st2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("recovered %d responses, want %d", n, want)
+	}
+}
+
+// TestMigrateCheckpointSeedsWAL: -migrate-checkpoint loads a legacy CCKP
+// file into an empty WAL store and pins it with a compact snapshot, so the
+// next (migration-free) startup recovers from the store alone; migrating
+// into a store that already holds state is refused.
+func TestMigrateCheckpointSeedsWAL(t *testing.T) {
+	legacy := filepath.Join(t.TempDir(), "node.ckpt")
+	seed := newTestWorker(t)
+	for task := 0; task < 25; task++ {
+		for cw := 0; cw < 5; cw++ {
+			if (task+cw)%4 == 0 {
+				continue
+			}
+			if err := seed.Evaluator().Add(cw, task, crowd.Response(1+crowdassessResponse(cw, task))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := saveCheckpoint(seed, legacy); err != nil {
+		t.Fatal(err)
+	}
+	want := seed.Evaluator().Responses()
+
+	dir := t.TempDir()
+	cfg, err := validateStorage("", 0, dir, "never", time.Minute, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cfg.openWorkerStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dist.NewWorker(dist.WorkerOptions{Workers: 5, Shards: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	n, err := recoverWorker(w, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != want {
+		t.Fatalf("migrated %d responses, want %d", n, want)
+	}
+	w.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store now carries the state: a migration-free restart recovers it,
+	// and a second migration attempt is refused.
+	st2, err := cfg.openWorkerStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	w2, err := dist.NewWorker(dist.WorkerOptions{Workers: 5, Shards: 2, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w2.Close() })
+	plain := cfg
+	plain.migrate = ""
+	if n, err := recoverWorker(w2, st2, plain); err != nil || n != want {
+		t.Fatalf("post-migration recovery: n=%d err=%v, want %d, nil", n, err, want)
+	}
+	w3, err := dist.NewWorker(dist.WorkerOptions{Workers: 5, Shards: 2, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w3.Close() })
+	if _, err := recoverWorker(w3, st2, cfg); err == nil {
+		t.Fatal("migration into a non-empty WAL store accepted")
+	} else if !strings.Contains(err.Error(), "non-empty") {
+		t.Fatalf("wrong refusal: %v", err)
 	}
 }

@@ -112,7 +112,9 @@ func (e *StatsExport) validate() error {
 
 // toStreamStats adapts a validated export for the addFrom reducer. The
 // returned streamStats aliases the export's slices; addFrom only reads its
-// argument, so no copy is needed.
+// argument, so no copy is needed. Exports carry no answer bitsets, so the
+// adapted stats contribute none — a StatsAccumulator therefore cannot be
+// compact-checkpointed, only evaluated (see compact.go).
 func (e *StatsExport) toStreamStats() *streamStats {
 	s := &streamStats{
 		agree:     e.Agree,

@@ -24,6 +24,16 @@ type streamStats struct {
 	// responded[w] tracks whether worker w answered a given task (bitset
 	// over global task indices).
 	responded []dynBitset
+	// answers[w] records WHICH answer worker w gave on a task it responded
+	// to: bit set means Yes, clear means No (only meaningful where the
+	// responded bit is set). Together with responded it makes the
+	// statistics fully reconstructive for binary crowds: the pairwise
+	// counters are derivable as common[i][j] = |responded_i ∩ responded_j|
+	// and agree[i][j] = |responded_i ∩ responded_j ∩ ¬(answers_i ⊕
+	// answers_j)| — which is what lets a compact checkpoint (see
+	// compact.go) resume ingestion exactly without carrying the response
+	// log.
+	answers []dynBitset
 }
 
 func newStreamStats(workers int) *streamStats {
@@ -31,6 +41,7 @@ func newStreamStats(workers int) *streamStats {
 		agree:     make([][]int, workers),
 		common:    make([][]int, workers),
 		responded: make([]dynBitset, workers),
+		answers:   make([]dynBitset, workers),
 	}
 	for i := range s.agree {
 		s.agree[i] = make([]int, workers)
@@ -52,6 +63,9 @@ func (s *streamStats) record(w, t int, r crowd.Response, prev []workerResponse) 
 		}
 	}
 	s.responded[w].set(t)
+	if r == crowd.Yes {
+		s.answers[w].set(t)
+	}
 }
 
 // addFrom accumulates o into s: counter sums and attendance unions. The
@@ -67,6 +81,9 @@ func (s *streamStats) addFrom(o *streamStats) {
 			ci[j] += oc[j]
 		}
 		s.responded[i].orWith(o.responded[i])
+		if i < len(o.answers) {
+			s.answers[i].orWith(o.answers[i])
+		}
 	}
 }
 

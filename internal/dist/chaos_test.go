@@ -3,8 +3,10 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,6 +14,7 @@ import (
 	"time"
 
 	"crowdassess/internal/core"
+	"crowdassess/internal/store"
 )
 
 // chaosPolicy is tight enough that injected stalls resolve in tens of
@@ -73,6 +76,22 @@ func writeChaosLog(t *testing.T, lines []string) {
 // PR run replays the same schedule, overridden by CHAOS_SEED for the
 // nightly randomized rounds. The chosen seed is logged either way — a
 // failing nightly run is replayed by exporting the seed it printed.
+// chaosWALDir places the crash-restart test's store under CHAOS_WAL_DIR
+// when set, so CI can upload the surviving WAL segments as a failure
+// artifact next to the event log. Unset, the usual per-test temp dir.
+func chaosWALDir(t *testing.T) string {
+	t.Helper()
+	base := os.Getenv("CHAOS_WAL_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	dir := filepath.Join(base, t.Name())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("CHAOS_WAL_DIR: %v", err)
+	}
+	return dir
+}
+
 func chaosSeed(t *testing.T, def uint64) uint64 {
 	if s := os.Getenv("CHAOS_SEED"); s != "" {
 		v, err := strconv.ParseUint(s, 0, 64)
@@ -542,3 +561,153 @@ func TestWorkerCloseNotWedgedByStalledPeer(t *testing.T) {
 }
 
 func evalOpts() core.EvalOptions { return core.EvalOptions{Confidence: 0.9} }
+
+// TestChaosCrashRestartFromWAL is the durability headline under fire: a
+// store-backed worker ingests through a coordinator while a seeded fault
+// filesystem cuts the power mid-append — tearing whatever frame was in
+// flight — and every crash is followed by a full restart from disk. After
+// each restart, every batch that was acknowledged before the crash must
+// still be present (zero acked loss), and once the whole stream has landed
+// the decisions must be bit-identical to a never-crashed local evaluator.
+func TestChaosCrashRestartFromWAL(t *testing.T) {
+	const crowdSize, tasks = 8, 240
+	seed := chaosSeed(t, 0x77A1C4A5)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	subs := testStream(t, crowdSize, tasks, 97)
+	local := localReference(t, crowdSize, subs)
+
+	dir := chaosWALDir(t)
+	ffs := store.NewFaultFS(store.OSFS{})
+	openStore := func() *store.Store {
+		t.Helper()
+		st, err := store.Open(ffs, dir, store.Options{SegmentSize: 1 << 12, Fsync: store.FsyncAlways})
+		if err != nil {
+			t.Fatalf("reopening the store after a crash: %v", err)
+		}
+		return st
+	}
+
+	acked := make([]bool, len(subs))
+	remaining := func() []int {
+		var idx []int
+		for i, ok := range acked {
+			if !ok {
+				idx = append(idx, i)
+			}
+		}
+		return idx
+	}
+	var chaosLog []string
+	defer func() { writeChaosLog(t, chaosLog) }()
+
+	crashes := 0
+	const wantCrashes = 3
+	for round := 0; ; round++ {
+		if round > 24 {
+			t.Fatalf("no forward progress after %d rounds (%d responses still unacked)", round, len(remaining()))
+		}
+		st := openStore()
+		w, err := NewWorker(WorkerOptions{Workers: crowdSize, Shards: 2, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered, err := w.RecoverFromStore()
+		if err != nil {
+			t.Fatalf("round %d: recovery from the torn WAL failed: %v", round, err)
+		}
+		// Zero acked loss: every response acknowledged before any crash must
+		// already be in the recovered evaluator, so a duplicate re-add is
+		// rejected.
+		for i, s := range subs {
+			if acked[i] {
+				if err := w.Evaluator().Add(s.w, s.t, s.r); err == nil {
+					t.Fatalf("round %d: acked response %d (worker %d task %d) lost in the crash", round, i, s.w, s.t)
+				}
+			}
+		}
+		conn, err := w.SelfConn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord, err := NewCoordinator(crowdSize, []*Conn{conn})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		todo := remaining()
+		if len(todo) > 0 && crashes < wantCrashes {
+			budget := int64(600 + rng.Intn(2500))
+			ffs.SetWriteBudget(budget, store.FaultCrash)
+			chaosLog = append(chaosLog, fmt.Sprintf("round %d: recovered %d, %d unacked, crash budget %d bytes",
+				round, recovered, len(todo), budget))
+		} else {
+			chaosLog = append(chaosLog, fmt.Sprintf("round %d: recovered %d, %d unacked, clean run", round, recovered, len(todo)))
+		}
+
+		// Re-ingest everything still unacked, in batches. Retrying a whole
+		// failed batch is safe here: an append either returns success (the
+		// frame is synced — acked) or tears its own frame (truncated on
+		// recovery — gone), so an unacked batch never survives partially.
+		for lo := 0; lo < len(todo); {
+			hi := lo + 16
+			if hi > len(todo) {
+				hi = len(todo)
+			}
+			batch := make([]Response, 0, hi-lo)
+			for _, i := range todo[lo:hi] {
+				s := subs[i]
+				batch = append(batch, Response{Worker: s.w, Task: s.t, Answer: s.r})
+			}
+			if err := coord.Ingest(batch); err != nil {
+				chaosLog = append(chaosLog, fmt.Sprintf("round %d: batch at %d refused: %v", round, lo, err))
+				break // the store is down (crash or failed log); restart
+			}
+			for _, i := range todo[lo:hi] {
+				acked[i] = true
+			}
+			lo = hi
+		}
+
+		coord.Close()
+		w.Close()
+		st.Close()
+		if ffs.Crashed() {
+			crashes++
+			ffs.Revive()
+		} else {
+			ffs.SetWriteBudget(-1, store.FaultNone)
+		}
+		if len(remaining()) == 0 && crashes >= wantCrashes {
+			break
+		}
+	}
+	if crashes < wantCrashes {
+		t.Fatalf("only %d crashes landed; the run proved nothing", crashes)
+	}
+
+	// Final restart: the store alone must rebuild the full stream with
+	// decisions bit-identical to the never-crashed evaluator.
+	st := openStore()
+	defer st.Close()
+	w, err := NewWorker(WorkerOptions{Workers: crowdSize, Shards: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	n, err := w.RecoverFromStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(subs) {
+		t.Fatalf("final recovery holds %d responses, want %d", n, len(subs))
+	}
+	want, err := local.EvaluateAll(evalOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Evaluator().EvaluateAll(evalOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareEstimates(t, "crash-restart decisions", got, want)
+}

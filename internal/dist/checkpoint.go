@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"hash/crc64"
 	"os"
-	"path/filepath"
 
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
+	"crowdassess/internal/store"
 )
 
 // SnapshotVersion versions the checkpoint file format independently of the
@@ -185,36 +185,27 @@ func decodeLog(b []byte) ([]core.LoggedResponse, error) {
 	return log, r.done()
 }
 
-// WriteSnapshot atomically persists a snapshot: the encoding is written to
-// a temporary file in the target directory, synced, and renamed into
-// place, so a crash mid-write can never truncate or corrupt an existing
-// checkpoint — the previous snapshot survives intact until the new one is
-// durably complete.
+// WriteSnapshot atomically and durably persists a snapshot: the encoding
+// is written to a temporary file in the target directory, synced, renamed
+// into place, and the parent directory is synced too — rename alone pins
+// the bytes but not the directory entry, so without that last fsync a
+// power cut could resurface the old checkpoint (or none at all) under the
+// published name. A crash mid-write never truncates or corrupts an
+// existing checkpoint.
 func WriteSnapshot(path string, s *Snapshot) error {
+	return WriteSnapshotFS(store.OSFS{}, path, s)
+}
+
+// WriteSnapshotFS is WriteSnapshot against an injectable filesystem, which
+// is how tests pin the durability sequence (fault injection on the
+// directory sync) and how non-POSIX backends persist checkpoints.
+func WriteSnapshotFS(fsys store.FS, path string, s *Snapshot) error {
 	payload, err := EncodeSnapshot(s)
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("dist: checkpoint temp file: %w", err)
-	}
-	tmp := f.Name()
-	defer os.Remove(tmp) // no-op after a successful rename
-	if _, err := f.Write(payload); err != nil {
-		f.Close()
-		return fmt.Errorf("dist: writing checkpoint: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("dist: syncing checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("dist: closing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("dist: publishing checkpoint: %w", err)
+	if err := store.WriteFileAtomic(fsys, path, payload, 0o644); err != nil {
+		return fmt.Errorf("dist: publishing checkpoint %s: %w", path, err)
 	}
 	return nil
 }

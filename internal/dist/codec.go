@@ -36,7 +36,10 @@ import (
 //	    carries the node's identity (so membership views name real nodes)
 //	    and its incarnation, so a reconnect can tell a network blip (same
 //	    process, state intact) from a restart (state lost, needs reseed)
-const ProtocolVersion = 3
+//	4 — adds pullCompact/compact/restoreCompact: O(delta) compact
+//	    checkpoint transfer (statistics + answer bitsets, no response log)
+//	    for the WAL storage engine's snapshot and reseed paths
+const ProtocolVersion = 4
 
 // statsCodecVersion versions the statistics payload independently of the
 // protocol, so exports persisted to disk stay readable across protocol

@@ -183,7 +183,7 @@ func handshake(workers int, conn *Conn) (*node, error) {
 // path's sibling retry).
 func idempotent(msgType byte) bool {
 	switch msgType {
-	case msgPullStats, msgPullCounts, msgPullDis, msgPullTotal, msgPullSnap, msgPing, msgSweep:
+	case msgPullStats, msgPullCounts, msgPullDis, msgPullTotal, msgPullSnap, msgPullCompact, msgPing, msgSweep:
 		return true
 	}
 	return false
@@ -391,7 +391,7 @@ func (c *Coordinator) Add(w, t int, r crowd.Response) error {
 		return fmt.Errorf("dist: negative task index %d", t)
 	}
 	batch := []responseRec{{Worker: w, Task: t, Answer: int(r)}}
-	_, err := c.broadcast(c.sliceOf(t), msgIngest, encodeIngest(batch), msgIngestOK, false)
+	_, err := c.ingestSlice(c.sliceOf(t), batch)
 	return err
 }
 
@@ -420,7 +420,7 @@ func (c *Coordinator) Ingest(batch []Response) error {
 		wg.Add(1)
 		go func(si int, recs []responseRec) {
 			defer wg.Done()
-			_, errs[si] = c.broadcast(si, msgIngest, encodeIngest(recs), msgIngestOK, false)
+			_, errs[si] = c.ingestSlice(si, recs)
 		}(si, recs)
 	}
 	wg.Wait()

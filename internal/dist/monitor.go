@@ -3,7 +3,6 @@ package dist
 import (
 	"errors"
 	"fmt"
-	"path/filepath"
 	"sync"
 	"time"
 )
@@ -317,12 +316,25 @@ func (m *Monitor) reseedSlot(si int, dial func() (*Conn, error)) error {
 	// Seed from a surviving sibling when one lives — always fresher than
 	// any checkpoint.
 	err = m.c.RestoreNode(si, conn, nil)
-	if err == nil || !errors.Is(err, ErrNoReplica) || m.opts.CheckpointDir == "" {
+	if err == nil || !errors.Is(err, ErrNoReplica) {
 		return err
 	}
-	// Whole slice is gone: fall back to its checkpoint. RestoreNode closed
-	// the first connection on failure, so dial again.
-	snap, rerr := ReadSnapshot(filepath.Join(m.opts.CheckpointDir, fmt.Sprintf("slice-%03d.ckpt", si)))
+	// Whole slice is gone: fall back to durable state. RestoreNode closed
+	// the first connection on failure, so each path dials again. The
+	// slice's WAL store, when attached, wins over legacy checkpoint files:
+	// snapshot + journal tail replay covers every acknowledged batch,
+	// while a CCKP file only covers up to its last checkpoint tick.
+	if m.c.sliceStore(si) != nil {
+		conn, rerr := dial()
+		if rerr != nil {
+			return errors.Join(err, rerr)
+		}
+		return m.c.RestoreNodeFromStore(si, conn)
+	}
+	if m.opts.CheckpointDir == "" {
+		return err
+	}
+	snap, rerr := readNewestValidSliceCheckpoint(m.opts.CheckpointDir, si)
 	if rerr != nil {
 		return errors.Join(err, rerr)
 	}

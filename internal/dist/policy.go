@@ -78,7 +78,7 @@ func DefaultPolicy() Policy {
 // under.
 func (p Policy) timeoutFor(msgType byte) time.Duration {
 	switch msgType {
-	case msgPullSnap, msgRestore:
+	case msgPullSnap, msgRestore, msgPullCompact, msgRestoreCompact:
 		return p.StateTimeout
 	case msgSweep:
 		return p.SweepTimeout

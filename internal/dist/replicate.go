@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
+
+	"crowdassess/internal/store"
 )
 
 // Liveness is a replica's failure-detector state.
@@ -75,6 +79,12 @@ type slice struct {
 	// serving from that cache.
 	lastGood map[byte][]byte
 	stale    bool
+
+	// store, when attached (AttachSliceStores), is the slice's durable
+	// engine: acknowledged fan-outs are journaled to its WAL and compact
+	// checkpoints cut into its snapshot store, so the slice survives the
+	// loss of every replica.
+	store *store.Store
 }
 
 // liveLocked returns the non-down replicas in attach order; caller holds
@@ -303,15 +313,19 @@ func (c *Coordinator) SliceSnapshot(si int) (*Snapshot, error) {
 }
 
 // CheckpointAll snapshots every task slice into dir, one file per slice
-// (slice-NNN.ckpt), pulled concurrently and each written atomically.
-// Returned paths are indexed by slice. Each file is a consistent cut of
-// its own slice; the set is NOT a cluster-wide barrier — ingestion
-// continuing during the pass may land on some slices' files and not
-// others. That is exactly as strong as recovery needs: slices are
-// disjoint, restores are per slice, and each slice's stream replays from
-// that slice's own cut (Snapshot.Stats.Responses). Any one file restores
-// its slice via RestoreNode (or crowdd -checkpoint) even after every
-// replica of the slice is lost.
+// (slice-NNN.ckpt), pulled concurrently and each written atomically. The
+// previous generation survives as slice-NNN.ckpt.1 — rotated before the
+// new write — so a snapshot corrupted at rest never leaves its slice
+// without a fallback (the reseed path walks generations newest-first and
+// skips files that fail validation). Returned paths are indexed by slice.
+// Each file is a consistent cut of its own slice; the set is NOT a
+// cluster-wide barrier — ingestion continuing during the pass may land on
+// some slices' files and not others. That is exactly as strong as
+// recovery needs: slices are disjoint, restores are per slice, and each
+// slice's stream replays from that slice's own cut
+// (Snapshot.Stats.Responses). Any one file restores its slice via
+// RestoreNode (or crowdd -checkpoint) even after every replica of the
+// slice is lost.
 func (c *Coordinator) CheckpointAll(dir string) ([]string, error) {
 	paths := make([]string, len(c.slices))
 	errs := make([]error, len(c.slices))
@@ -326,6 +340,10 @@ func (c *Coordinator) CheckpointAll(dir string) ([]string, error) {
 				return
 			}
 			path := filepath.Join(dir, fmt.Sprintf("slice-%03d.ckpt", si))
+			if err := os.Rename(path, path+".1"); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				errs[si] = err
+				return
+			}
 			if err := WriteSnapshot(path, snap); err != nil {
 				errs[si] = err
 				return
@@ -338,6 +356,31 @@ func (c *Coordinator) CheckpointAll(dir string) ([]string, error) {
 		return nil, err
 	}
 	return paths, nil
+}
+
+// sliceCheckpointCandidates lists slice si's checkpoint files in dir,
+// newest generation first.
+func sliceCheckpointCandidates(dir string, si int) []string {
+	base := filepath.Join(dir, fmt.Sprintf("slice-%03d.ckpt", si))
+	return []string{base, base + ".1"}
+}
+
+// readNewestValidSliceCheckpoint walks slice si's checkpoint generations
+// newest-first and returns the first that loads and validates, skipping —
+// not failing on — files that are missing, truncated or fail their CRC.
+// Only when no generation is usable does it report an error (the failures
+// joined, so a corrupt newest generation is visible even when an older one
+// saved the day is not).
+func readNewestValidSliceCheckpoint(dir string, si int) (*Snapshot, error) {
+	var errs []error
+	for _, path := range sliceCheckpointCandidates(dir, si) {
+		snap, err := ReadSnapshot(path)
+		if err == nil {
+			return snap, nil
+		}
+		errs = append(errs, err)
+	}
+	return nil, fmt.Errorf("dist: no usable checkpoint for slice %d: %w", si, errors.Join(errs...))
 }
 
 // RestoreNode attaches a replacement node to task slice si and brings it

@@ -34,6 +34,10 @@ const (
 	msgRestoreOK  byte = 0x12 // worker → coordinator: countsMsg after restore
 	msgPing       byte = 0x13 // coordinator → worker: empty heartbeat probe
 	msgPong       byte = 0x14 // worker → coordinator: countsMsg liveness reply
+
+	msgPullCompact    byte = 0x15 // coordinator → worker: empty
+	msgCompact        byte = 0x16 // worker → coordinator: EncodeCompact payload
+	msgRestoreCompact byte = 0x17 // coordinator → worker: EncodeCompact payload
 )
 
 // maxFrame bounds an ordinary frame payload (type byte included): the
@@ -54,9 +58,15 @@ const maxFrame = 1 << 26
 const maxSnapFrame = 1 << 30
 
 // snapshotFrame reports whether a message type carries checkpoint state
-// transfer and may use the larger frame cap.
+// transfer and may use the larger frame cap. Compact checkpoints carry no
+// response log, but their answer bitsets still scale with workers×tasks —
+// past maxFrame on the very long-horizon nodes recovery cares most about.
 func snapshotFrame(msgType byte) bool {
-	return msgType == msgSnap || msgType == msgRestore
+	switch msgType {
+	case msgSnap, msgRestore, msgCompact, msgRestoreCompact:
+		return true
+	}
+	return false
 }
 
 // frameCap returns the payload bound (type byte included) for a message

@@ -13,6 +13,7 @@ import (
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/eval"
+	"crowdassess/internal/store"
 )
 
 // WorkerOptions configures a worker node.
@@ -37,6 +38,14 @@ type WorkerOptions struct {
 	// goroutine or the drain in Close. 0 selects DefaultFrameTimeout;
 	// negative disables the bound.
 	FrameTimeout time.Duration
+	// Store, when set, is the node's durable storage engine: every
+	// accepted ingest batch is journaled to its WAL before the ack goes
+	// out (so an acknowledged response survives a crash, up to the
+	// store's fsync policy), CheckpointCompact cuts O(delta) snapshots
+	// into it, and RecoverFromStore rebuilds the evaluator from it on
+	// restart. The worker owns journaling and snapshots; the caller owns
+	// opening, recovery ordering and Close.
+	Store *store.Store
 }
 
 // DefaultFrameTimeout is the worker-side mid-frame stall budget: generous
@@ -67,6 +76,13 @@ type Worker struct {
 	inc      *core.ShardedIncremental
 	start    time.Time
 	instance uint64 // incarnation: fresh per Worker, announced in the hello
+
+	// journalMu orders WAL appends against compact snapshot cuts when a
+	// Store is attached: each ingest applies its batch and journals it
+	// under the read side, CheckpointCompact takes the write side to read
+	// (state, lastSeq) as one consistent cut — a snapshot can never
+	// observe responses whose journal record it would then truncate away.
+	journalMu sync.RWMutex
 
 	mu        sync.Mutex
 	closed    bool
@@ -326,14 +342,23 @@ func (w *Worker) handle(msgType byte, body []byte) (byte, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
+		if w.opts.Store != nil {
+			w.journalMu.RLock()
+			defer w.journalMu.RUnlock()
+		}
 		for _, s := range batch {
 			if err := w.inc.Add(s.Worker, s.Task, crowd.Response(s.Answer)); err != nil {
 				// The batch stops at the first rejected response. Earlier
 				// responses are already ingested; the coordinator reports
 				// the failure to its caller, matching the local evaluator's
-				// per-Add error contract.
+				// per-Add error contract. A rejected batch is never
+				// journaled — its ack never goes out, so losing its prefix
+				// on a crash breaks no durability promise.
 				return 0, nil, err
 			}
+		}
+		if err := w.journal(batch); err != nil {
+			return 0, nil, err
 		}
 		return msgIngestOK, encodeTotal(w.inc.Responses()), nil
 
@@ -373,6 +398,29 @@ func (w *Worker) handle(msgType byte, body []byte) (byte, []byte, error) {
 			return 0, nil, err
 		}
 		if err := w.Restore(snap); err != nil {
+			return 0, nil, err
+		}
+		if err := w.persistSeed(); err != nil {
+			return 0, nil, err
+		}
+		return msgRestoreOK, encodeCounts(countsMsg{Tasks: w.inc.Tasks(), Responses: w.inc.Responses()}), nil
+
+	case msgPullCompact:
+		payload, err := EncodeCompact(w.inc.CompactCheckpoint())
+		if err != nil {
+			return 0, nil, err
+		}
+		return msgCompact, payload, nil
+
+	case msgRestoreCompact:
+		cs, err := DecodeCompact(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := w.inc.RestoreCompact(cs); err != nil {
+			return 0, nil, err
+		}
+		if err := w.persistSeed(); err != nil {
 			return 0, nil, err
 		}
 		return msgRestoreOK, encodeCounts(countsMsg{Tasks: w.inc.Tasks(), Responses: w.inc.Responses()}), nil

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// FaultFS wraps an FS with deterministic fault injection for the chaos
+// suite: a byte budget that, once exhausted, either returns ENOSPC or
+// tears the in-flight write mid-frame and "crashes" (every later operation
+// fails), plus forced short writes and sync failures. It models the disk
+// failure modes a WAL must survive — torn tails, full disks, power cuts —
+// without needing a real power cut.
+type FaultFS struct {
+	inner FS
+
+	mu         sync.Mutex
+	budget     int64 // bytes writable before the fault fires; <0 = unlimited
+	mode       FaultMode
+	crashed    bool
+	syncErr    error
+	shortEvery int // force every Nth write to be short (0 = off)
+	writes     int
+}
+
+// FaultMode selects what happens when the write budget runs out.
+type FaultMode int
+
+const (
+	// FaultNone never fires; the budget is ignored.
+	FaultNone FaultMode = iota
+	// FaultENOSPC makes the exhausting write fail with ErrNoSpace after
+	// writing the bytes the budget still covered (a short write, as a full
+	// disk produces).
+	FaultENOSPC
+	// FaultCrash tears the exhausting write at the budget boundary and
+	// fails every subsequent operation with ErrCrashed — the moral
+	// equivalent of the power cutting mid-append.
+	FaultCrash
+)
+
+// ErrNoSpace is the injected full-disk error.
+var ErrNoSpace = errors.New("store: no space left on device (injected)")
+
+// ErrCrashed reports an operation on a FaultFS past its crash point.
+var ErrCrashed = errors.New("store: filesystem crashed (injected)")
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, budget: -1}
+}
+
+// SetWriteBudget arms the budget fault: after n more written bytes, mode
+// fires. Pass n < 0 to disarm.
+func (f *FaultFS) SetWriteBudget(n int64, mode FaultMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget, f.mode = n, mode
+}
+
+// SetSyncError makes every Sync fail with err (nil restores normality).
+func (f *FaultFS) SetSyncError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// SetShortWrites forces every nth write to persist only half its bytes
+// before failing (0 disables).
+func (f *FaultFS) SetShortWrites(nth int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortEvery, f.writes = nth, 0
+}
+
+// Crashed reports whether the crash fault has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Revive clears the crashed state — the "restart after power loss" step.
+// The torn bytes already on disk stay exactly as the fault left them.
+func (f *FaultFS) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.budget = -1
+	f.mode = FaultNone
+}
+
+// admit charges n bytes against the budget, returning how many may be
+// written and the error to report (nil if the write proceeds in full).
+func (f *FaultFS) admit(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if f.shortEvery > 0 {
+		f.writes++
+		if f.writes%f.shortEvery == 0 {
+			return n / 2, errors.New("store: short write (injected)")
+		}
+	}
+	if f.budget < 0 || f.mode == FaultNone || int64(n) <= f.budget {
+		if f.budget >= 0 {
+			f.budget -= int64(n)
+		}
+		return n, nil
+	}
+	allowed := int(f.budget)
+	f.budget = 0
+	switch f.mode {
+	case FaultCrash:
+		f.crashed = true
+		return allowed, ErrCrashed
+	default:
+		return allowed, ErrNoSpace
+	}
+}
+
+// guard fails metadata operations once crashed.
+func (f *FaultFS) guard() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// Reads are never faulted: recovery code must be able to read back
+// whatever the faults left on disk.
+func (f *FaultFS) ReadFile(name string) ([]byte, error)  { return f.inner.ReadFile(name) }
+func (f *FaultFS) ReadDir(name string) ([]string, error) { return f.inner.ReadDir(name) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	f.mu.Lock()
+	crashed, syncErr := f.crashed, f.syncErr
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allowed, ferr := f.fs.admit(len(p))
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = f.inner.Write(p[:allowed])
+		if ferr == nil {
+			ferr = err
+		}
+	}
+	if ferr != nil {
+		return n, ferr
+	}
+	return n, nil
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	crashed, syncErr := f.fs.crashed, f.fs.syncErr
+	f.fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	// Close always reaches the real file so handles are not leaked, even
+	// after a crash.
+	return f.inner.Close()
+}

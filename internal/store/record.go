@@ -1,0 +1,201 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"crowdassess/internal/crowd"
+)
+
+// WAL record framing. Every record on disk is one self-checking frame:
+//
+//	u32le payload length
+//	u64le sequence number
+//	u8    record type
+//	payload (length bytes)
+//	u32le CRC-32C over everything above
+//
+// The CRC is Castagnoli (hardware-accelerated on amd64/arm64) and covers
+// the header too, so a bit flip in the length or sequence fields is caught
+// the same as one in the payload. Sequence numbers are assigned
+// contiguously by the log; replay filters on them, which is what makes
+// re-applying an overlapping tail idempotent.
+//
+// The payload of a batch record is itself canonical: minimally-encoded
+// uvarints only, so decode∘encode is the identity on every frame the
+// decoder accepts — the property the fuzzers pin.
+
+const (
+	// recBatch frames one accepted ingest batch.
+	recBatch = 0x01
+
+	// recHeaderLen is the fixed frame header: length + seq + type.
+	recHeaderLen = 4 + 8 + 1
+	// recTrailerLen is the CRC.
+	recTrailerLen = 4
+
+	// maxRecordPayload bounds a single record so a corrupt length field
+	// cannot demand a multi-gigabyte allocation. Ingest batches are far
+	// smaller than this.
+	maxRecordPayload = 1 << 24
+
+	// maxUvarint53 caps decoded varints below 2^53, mirroring the wire
+	// codec's safe-integer bound.
+	maxUvarint53 = 1 << 53
+)
+
+// castagnoli is the CRC-32C table shared by records, segment headers and
+// snapshot files.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a frame, segment or snapshot that fails validation.
+// The WAL treats a corrupt record as the end of the usable log; the
+// snapshot store skips corrupt files and falls back to older ones.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+// Response is one crowd response as journaled: worker Worker answered task
+// Task with Answer. It mirrors the evaluator's logged-response shape so
+// replay can feed the ordinary Add path directly.
+type Response struct {
+	Worker int
+	Task   int
+	Answer crowd.Response
+}
+
+// Record is one decoded WAL record: the batch of responses journaled under
+// sequence number Seq. Sequence numbers are contiguous per log, assigned
+// at append time.
+type Record struct {
+	Seq       uint64
+	Responses []Response
+}
+
+// appendUvarint appends v in minimal varint form.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// uvarint decodes a minimally-encoded varint from b, rejecting overlong
+// encodings and values at or above 2^53 so every accepted value re-encodes
+// to the same bytes and converts to int without overflow.
+func uvarint(b []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: truncated or overflowing varint", ErrCorrupt)
+	}
+	if n > 1 && b[n-1] == 0 {
+		return 0, 0, fmt.Errorf("%w: overlong varint encoding", ErrCorrupt)
+	}
+	if v >= maxUvarint53 {
+		return 0, 0, fmt.Errorf("%w: varint %d exceeds safe-integer bound", ErrCorrupt, v)
+	}
+	return v, n, nil
+}
+
+// encodeBatchPayload serializes a batch in canonical form: response count,
+// then (worker, task, answer) uvarint triples.
+func encodeBatchPayload(b []byte, responses []Response) []byte {
+	b = appendUvarint(b, uint64(len(responses)))
+	for _, r := range responses {
+		b = appendUvarint(b, uint64(r.Worker))
+		b = appendUvarint(b, uint64(r.Task))
+		b = appendUvarint(b, uint64(r.Answer))
+	}
+	return b
+}
+
+// decodeBatchPayload parses a batch payload, requiring the canonical form
+// exactly: no trailing bytes, no overlong varints, fields within range.
+func decodeBatchPayload(b []byte) ([]Response, error) {
+	count, n, err := uvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b[n:]
+	// Each response is at least three bytes, so the count is bounded by the
+	// remaining payload — checked before allocating.
+	if count > uint64(len(b)) {
+		return nil, fmt.Errorf("%w: batch claims %d responses in %d payload bytes", ErrCorrupt, count, len(b))
+	}
+	responses := make([]Response, count)
+	for i := range responses {
+		var fields [3]uint64
+		for f := range fields {
+			v, n, err := uvarint(b)
+			if err != nil {
+				return nil, err
+			}
+			fields[f], b = v, b[n:]
+		}
+		if fields[0] > maxInt31 || fields[1] > maxInt31 {
+			return nil, fmt.Errorf("%w: worker/task index out of range", ErrCorrupt)
+		}
+		if fields[2] == 0 || fields[2] > 255 {
+			return nil, fmt.Errorf("%w: answer %d out of range", ErrCorrupt, fields[2])
+		}
+		responses[i] = Response{Worker: int(fields[0]), Task: int(fields[1]), Answer: crowd.Response(fields[2])}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch payload", ErrCorrupt, len(b))
+	}
+	return responses, nil
+}
+
+// maxInt31 bounds worker and task indices to values that fit int on every
+// platform and stay far from slice-length overflow.
+const maxInt31 = 1<<31 - 1
+
+// appendRecord appends the framed record to b.
+func appendRecord(b []byte, seq uint64, typ byte, payload []byte) []byte {
+	start := len(b)
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], seq)
+	hdr[12] = typ
+	b = append(b, hdr[:]...)
+	b = append(b, payload...)
+	crc := crc32.Checksum(b[start:], castagnoli)
+	var tail [recTrailerLen]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(b, tail[:]...)
+}
+
+// EncodeRecord frames a batch record for the WAL.
+func EncodeRecord(rec Record) []byte {
+	payload := encodeBatchPayload(nil, rec.Responses)
+	return appendRecord(nil, rec.Seq, recBatch, payload)
+}
+
+// DecodeRecord parses one frame from the front of b, returning the record
+// and the number of bytes consumed. It never panics on arbitrary input,
+// never allocates proportionally to a corrupt length field, and accepts
+// only frames EncodeRecord could have produced — so re-encoding a decoded
+// record reproduces the consumed bytes exactly.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recHeaderLen+recTrailerLen {
+		return Record{}, 0, fmt.Errorf("%w: truncated record header", ErrCorrupt)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if payloadLen > maxRecordPayload {
+		return Record{}, 0, fmt.Errorf("%w: record payload %d exceeds %d-byte bound", ErrCorrupt, payloadLen, maxRecordPayload)
+	}
+	total := recHeaderLen + payloadLen + recTrailerLen
+	if len(b) < total {
+		return Record{}, 0, fmt.Errorf("%w: truncated record body", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(b[total-recTrailerLen : total])
+	if got := crc32.Checksum(b[:total-recTrailerLen], castagnoli); got != want {
+		return Record{}, 0, fmt.Errorf("%w: record CRC mismatch", ErrCorrupt)
+	}
+	seq := binary.LittleEndian.Uint64(b[4:12])
+	if typ := b[12]; typ != recBatch {
+		return Record{}, 0, fmt.Errorf("%w: unknown record type 0x%02x", ErrCorrupt, typ)
+	}
+	responses, err := decodeBatchPayload(b[recHeaderLen : recHeaderLen+payloadLen])
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return Record{Seq: seq, Responses: responses}, total, nil
+}

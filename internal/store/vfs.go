@@ -1,0 +1,127 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam the storage engine writes through. Production
+// code uses OSFS; tests substitute FaultFS to inject torn writes, ENOSPC
+// and crash-at-offset faults without touching a real disk's failure modes.
+// The surface is deliberately small — just what a WAL and a snapshot store
+// need — so alternative backends (object stores, SQL blobs) can satisfy it
+// without inheriting POSIX semantics they cannot honour.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens a file for writing with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the names (not paths) of the directory's entries,
+	// sorted ascending.
+	ReadDir(name string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to the given size.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making renames/creates/removes inside it
+	// durable. Rename alone is NOT durable across power loss: the new
+	// directory entry lives in the parent's data blocks, which need their
+	// own fsync.
+	SyncDir(name string) error
+}
+
+// File is the write-side handle the engine appends through.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// OSFS is the real-disk FS.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) ReadDir(name string) ([]string, error) {
+	entries, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error               { return os.Remove(name) }
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic durably replaces path with data: write to a temp file in
+// the same directory, fsync it, rename over the target, then fsync the
+// parent directory. Readers never observe a partial file, and after the
+// call returns the replacement survives power loss — the parent-dir fsync
+// is what pins the rename itself.
+func WriteFileAtomic(fsys FS, path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("store: create %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("store: rename %s: %w", tmp, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

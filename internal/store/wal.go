@@ -1,0 +1,629 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log is the write-ahead journal the ingest path appends to before acking.
+// Sequence numbers are assigned contiguously starting at 1; replay filters
+// on them, so re-applying a tail that overlaps an already-restored
+// snapshot is idempotent by construction.
+type Log interface {
+	// Append journals one accepted batch and returns its sequence number.
+	// When it returns nil under the per-record fsync policy, the batch is
+	// on stable storage; under group-commit or no-fsync policies the
+	// durability window is the caller's chosen tradeoff.
+	Append(responses []Response) (uint64, error)
+	// LastSeq returns the highest sequence number ever appended (0 if
+	// none).
+	LastSeq() uint64
+	// Replay streams every record with Seq >= from, in sequence order.
+	Replay(from uint64, fn func(Record) error) error
+	// TruncateBefore drops log prefixes wholly below seq — called after a
+	// snapshot at seq-1 has been made durable. It only removes whole
+	// segments, so some records below seq may survive; replay's sequence
+	// filter makes the overlap harmless.
+	TruncateBefore(seq uint64) error
+	// Sync forces buffered appends to stable storage regardless of policy.
+	Sync() error
+	// Close syncs (under durable policies) and releases the log.
+	Close() error
+}
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every append: an acked batch survives
+	// power loss. The safest and slowest policy.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval group-commits: a background flusher syncs dirty
+	// segments every Options.FsyncEvery. Bounded data loss (one interval)
+	// for near-no-fsync throughput.
+	FsyncInterval
+	// FsyncNever performs no fsync at all — process crashes lose nothing
+	// (the OS still has the writes), machine crashes lose the page cache.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the flag spellings to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures the disk-backed engine.
+type Options struct {
+	// SegmentSize rotates the active segment once it exceeds this many
+	// bytes (default 4 MiB).
+	SegmentSize int64
+	// Fsync selects the append durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery is the group-commit interval under FsyncInterval
+	// (default 50ms).
+	FsyncEvery time.Duration
+	// KeepSnapshots bounds how many snapshot generations Save retains
+	// (default 2: the newest plus one fallback).
+	KeepSnapshots int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 50 * time.Millisecond
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = 2
+	}
+	return o
+}
+
+// Segment files: wal-<firstSeq as %016x>.seg, a 17-byte self-checking
+// header followed by framed records. The header pins the first sequence
+// number the segment may contain, cross-checked against the filename.
+const (
+	segMagic     = "CAWL"
+	segVersion   = 1
+	segHeaderLen = 4 + 1 + 8 + 4 // magic + version + firstSeq + CRC
+	segPrefix    = "wal-"
+	segSuffix    = ".seg"
+)
+
+// ErrLogFailed reports an append after a prior write error: the segment
+// tail is in an unknown state, so the log refuses to interleave more
+// frames. Reopen the log to run recovery.
+var ErrLogFailed = errors.New("store: log failed; reopen to recover")
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("store: closed")
+
+// RecoveryInfo summarizes what OpenLog had to repair.
+type RecoveryInfo struct {
+	// TruncatedBytes is how many trailing bytes were cut from a torn or
+	// corrupt segment.
+	TruncatedBytes int64
+	// DroppedSegments counts segments discarded because they followed a
+	// corruption point (or were empty leftovers of an interrupted
+	// rotation).
+	DroppedSegments int
+}
+
+type segInfo struct {
+	name  string
+	first uint64
+}
+
+// DiskLog is the local-disk Log. All methods are safe for concurrent use.
+type DiskLog struct {
+	fsys FS
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	segments []segInfo // on-disk segments, ascending; includes the active one
+	seg      File      // active segment handle, nil until first append
+	segSize  int64
+	lastSeq  uint64
+	dirty    bool
+	failed   bool
+	closed   bool
+	recovery RecoveryInfo
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+func segName(first uint64) string {
+	// Fixed-width hex so lexicographic directory order is sequence order.
+	return segPrefix + fmt.Sprintf("%016x", first) + segSuffix
+}
+
+// parseSegName returns the first-seq encoded in a segment filename.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if hex == "" {
+		return 0, false
+	}
+	first, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return first, true
+}
+
+func encodeSegHeader(first uint64) []byte {
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = append(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, first)
+	return binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(hdr, castagnoli))
+}
+
+// decodeSegHeader validates a segment header and returns its first-seq.
+func decodeSegHeader(b []byte) (uint64, error) {
+	if len(b) < segHeaderLen {
+		return 0, fmt.Errorf("%w: truncated segment header", ErrCorrupt)
+	}
+	if string(b[:4]) != segMagic {
+		return 0, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(b[13:17])
+	if got := crc32.Checksum(b[:13], castagnoli); got != want {
+		return 0, fmt.Errorf("%w: segment header CRC mismatch", ErrCorrupt)
+	}
+	if v := b[4]; v != segVersion {
+		return 0, fmt.Errorf("store: segment version %d not supported (max %d)", v, segVersion)
+	}
+	return binary.LittleEndian.Uint64(b[5:13]), nil
+}
+
+// OpenLog opens (or creates) the WAL in dir, running recovery: segments
+// are scanned in sequence order, the first corrupt or torn record
+// truncates the log at the last valid frame, and any segments past the
+// corruption point are dropped. A log that lost its tail is still a valid
+// log — exactly the prefix that was durable — which is the contract the
+// ack path relies on.
+func OpenLog(fsys FS, dir string, opts Options) (*DiskLog, error) {
+	opts = opts.withDefaults()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create wal dir: %w", err)
+	}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list wal dir: %w", err)
+	}
+	var segs []segInfo
+	for _, name := range names {
+		if first, ok := parseSegName(name); ok {
+			segs = append(segs, segInfo{name: name, first: first})
+		}
+	}
+	// ReadDir sorts lexicographically; fixed-width hex makes that sequence
+	// order, but sort defensively on the parsed value anyway.
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j-1].first > segs[j].first; j-- {
+			segs[j-1], segs[j] = segs[j], segs[j-1]
+		}
+	}
+
+	l := &DiskLog{fsys: fsys, dir: dir, opts: opts}
+	if err := l.recover(segs); err != nil {
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// recover scans segments in order, enforcing header validity, sequence
+// continuity and per-record CRCs. The first violation truncates the log
+// there: the offending segment is cut back to its valid prefix (removed
+// entirely if nothing valid remains) and all later segments are dropped.
+func (l *DiskLog) recover(segs []segInfo) error {
+	lastSeq := uint64(0)
+	for i := 0; i < len(segs); i++ {
+		s := segs[i]
+		path := filepath.Join(l.dir, s.name)
+		data, err := l.fsys.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: read segment %s: %w", s.name, err)
+		}
+		valid := int64(0)
+		segErr := func() error {
+			first, err := decodeSegHeader(data)
+			if err != nil {
+				return err
+			}
+			if first != s.first {
+				return fmt.Errorf("%w: segment %s header claims first seq %d", ErrCorrupt, s.name, first)
+			}
+			if i > 0 || lastSeq != 0 {
+				if first != lastSeq+1 {
+					return fmt.Errorf("%w: segment %s breaks sequence continuity (have %d, expect %d)", ErrCorrupt, s.name, first, lastSeq+1)
+				}
+			} else {
+				// The oldest surviving segment defines where the log
+				// starts (earlier ones were truncated away after
+				// snapshots).
+				lastSeq = first - 1
+			}
+			valid = segHeaderLen
+			rest := data[segHeaderLen:]
+			for len(rest) > 0 {
+				rec, n, err := DecodeRecord(rest)
+				if err != nil {
+					return err
+				}
+				if rec.Seq != lastSeq+1 {
+					return fmt.Errorf("%w: record seq %d breaks continuity (expect %d)", ErrCorrupt, rec.Seq, lastSeq+1)
+				}
+				lastSeq = rec.Seq
+				valid += int64(n)
+				rest = rest[n:]
+			}
+			return nil
+		}()
+		if segErr == nil && valid > segHeaderLen {
+			continue
+		}
+		// Corruption, a torn tail, or an empty segment. Cut this segment
+		// back to its valid prefix — or drop it entirely if no records
+		// survive — and drop everything after it.
+		if segErr != nil && !errors.Is(segErr, ErrCorrupt) {
+			return segErr // unsupported version, IO error: surface, don't destroy
+		}
+		if valid > segHeaderLen {
+			l.recovery.TruncatedBytes += int64(len(data)) - valid
+			if err := l.fsys.Truncate(path, valid); err != nil {
+				return fmt.Errorf("store: truncate torn segment %s: %w", s.name, err)
+			}
+			segs = segs[:i+1]
+		} else {
+			if err := l.fsys.Remove(path); err != nil {
+				return fmt.Errorf("store: remove unusable segment %s: %w", s.name, err)
+			}
+			l.recovery.DroppedSegments++
+			segs = segs[:i]
+		}
+		// Everything after the truncation point is dropped below: with the
+		// log ending here, later segments' records would open a sequence
+		// gap.
+		break
+	}
+	// Remove any segments past the retained prefix (they followed a
+	// corruption point).
+	keep := make(map[string]bool, len(segs))
+	for _, s := range segs {
+		keep[s.name] = true
+	}
+	all, err := l.fsys.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("store: list wal dir: %w", err)
+	}
+	removedAny := false
+	for _, name := range all {
+		if _, ok := parseSegName(name); ok && !keep[name] {
+			if err := l.fsys.Remove(filepath.Join(l.dir, name)); err != nil {
+				return fmt.Errorf("store: remove orphaned segment %s: %w", name, err)
+			}
+			l.recovery.DroppedSegments++
+			removedAny = true
+		}
+	}
+	if removedAny && l.opts.Fsync != FsyncNever {
+		if err := l.fsys.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("store: sync wal dir: %w", err)
+		}
+	}
+	l.segments = segs
+	l.lastSeq = lastSeq
+	return nil
+}
+
+// Recovery reports what OpenLog repaired.
+func (l *DiskLog) Recovery() RecoveryInfo { return l.recovery }
+
+// Dir returns the directory the log lives in.
+func (l *DiskLog) Dir() string { return l.dir }
+
+// LastSeq returns the highest sequence number ever appended.
+func (l *DiskLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
+
+// Append journals one batch; see Log.Append.
+func (l *DiskLog) Append(responses []Response) (uint64, error) {
+	if len(responses) == 0 {
+		return 0, fmt.Errorf("store: refusing to journal an empty batch")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return 0, ErrClosed
+	case l.failed:
+		return 0, ErrLogFailed
+	}
+	seq := l.lastSeq + 1
+	frame := EncodeRecord(Record{Seq: seq, Responses: toResponses(responses)})
+	if err := l.ensureSegmentLocked(int64(len(frame))); err != nil {
+		return 0, err
+	}
+	if _, err := l.seg.Write(frame); err != nil {
+		// The frame may be half on disk; recovery will truncate it, but
+		// appending more frames after a torn one would bury valid-looking
+		// garbage mid-log.
+		l.failed = true
+		return 0, fmt.Errorf("store: append record %d: %w", seq, err)
+	}
+	l.segSize += int64(len(frame))
+	if l.opts.Fsync == FsyncAlways {
+		if err := l.seg.Sync(); err != nil {
+			l.failed = true
+			return 0, fmt.Errorf("store: sync record %d: %w", seq, err)
+		}
+	} else {
+		l.dirty = true
+	}
+	l.lastSeq = seq
+	return seq, nil
+}
+
+// toResponses is the identity — Append takes the exported type directly —
+// kept as a seam should the journaled form ever diverge from the API form.
+func toResponses(rs []Response) []Response { return rs }
+
+// ensureSegmentLocked opens the active segment, rotating first when the
+// incoming frame would push it past SegmentSize.
+func (l *DiskLog) ensureSegmentLocked(incoming int64) error {
+	if l.seg != nil && l.segSize > segHeaderLen && l.segSize+incoming > l.opts.SegmentSize {
+		if err := l.closeSegmentLocked(); err != nil {
+			l.failed = true
+			return err
+		}
+	}
+	if l.seg != nil {
+		return nil
+	}
+	first := l.lastSeq + 1
+	name := segName(first)
+	f, err := l.fsys.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment %s: %w", name, err)
+	}
+	hdr := encodeSegHeader(first)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write segment header %s: %w", name, err)
+	}
+	if l.opts.Fsync != FsyncNever {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: sync segment header %s: %w", name, err)
+		}
+		if err := l.fsys.SyncDir(l.dir); err != nil {
+			f.Close()
+			return fmt.Errorf("store: sync wal dir: %w", err)
+		}
+	}
+	l.seg = f
+	l.segSize = int64(len(hdr))
+	l.segments = append(l.segments, segInfo{name: name, first: first})
+	return nil
+}
+
+// closeSegmentLocked syncs (under durable policies) and closes the active
+// segment.
+func (l *DiskLog) closeSegmentLocked() error {
+	if l.seg == nil {
+		return nil
+	}
+	if l.dirty && l.opts.Fsync != FsyncNever {
+		if err := l.seg.Sync(); err != nil {
+			l.seg.Close()
+			l.seg = nil
+			return fmt.Errorf("store: sync segment: %w", err)
+		}
+		l.dirty = false
+	}
+	err := l.seg.Close()
+	l.seg = nil
+	l.segSize = 0
+	if err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	return nil
+}
+
+// Replay streams records with Seq >= from in order; see Log.Replay. It
+// holds the log lock for the duration, so appends queue behind it.
+func (l *DiskLog) Replay(from uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	expect := uint64(0)
+	for _, s := range l.segments {
+		data, err := l.fsys.ReadFile(filepath.Join(l.dir, s.name))
+		if err != nil {
+			return fmt.Errorf("store: read segment %s: %w", s.name, err)
+		}
+		first, err := decodeSegHeader(data)
+		if err != nil || first != s.first {
+			return fmt.Errorf("%w: segment %s header invalid on replay", ErrCorrupt, s.name)
+		}
+		rest := data[segHeaderLen:]
+		for len(rest) > 0 {
+			rec, n, err := DecodeRecord(rest)
+			if err != nil {
+				return fmt.Errorf("store: segment %s: %w", s.name, err)
+			}
+			if expect != 0 && rec.Seq != expect {
+				return fmt.Errorf("%w: segment %s skips from seq %d to %d", ErrCorrupt, s.name, expect-1, rec.Seq)
+			}
+			expect = rec.Seq + 1
+			rest = rest[n:]
+			if rec.Seq < from {
+				continue
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TruncateBefore drops whole segments below seq; see Log.TruncateBefore.
+// The newest segment is always retained even when fully below seq: its
+// records carry the log's sequence position, so a crash after truncation
+// still reopens with the counter intact (replay's filter makes the stale
+// records harmless).
+func (l *DiskLog) TruncateBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	cut := 0
+	for cut < len(l.segments)-1 {
+		// A segment's records end where the next segment starts.
+		if l.segments[cut+1].first-1 >= seq {
+			break
+		}
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	for _, s := range l.segments[:cut] {
+		if err := l.fsys.Remove(filepath.Join(l.dir, s.name)); err != nil {
+			return fmt.Errorf("store: remove segment %s: %w", s.name, err)
+		}
+	}
+	l.segments = append([]segInfo(nil), l.segments[cut:]...)
+	if l.opts.Fsync != FsyncNever {
+		if err := l.fsys.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("store: sync wal dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// AlignTo advances the log's sequence counter to seq when a restored
+// snapshot has outrun the journal — possible only if corruption destroyed
+// the tail that produced the snapshot. The surviving segments all lie
+// below seq (the snapshot covers them), so they are removed; appending
+// fresh records below the snapshot's sequence would make future replays
+// silently skip them, which is the one thing a WAL must never do.
+func (l *DiskLog) AlignTo(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seq <= l.lastSeq {
+		return nil
+	}
+	if err := l.closeSegmentLocked(); err != nil {
+		return err
+	}
+	for _, s := range l.segments {
+		if err := l.fsys.Remove(filepath.Join(l.dir, s.name)); err != nil {
+			return fmt.Errorf("store: remove segment %s: %w", s.name, err)
+		}
+	}
+	if len(l.segments) > 0 && l.opts.Fsync != FsyncNever {
+		if err := l.fsys.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("store: sync wal dir: %w", err)
+		}
+	}
+	l.segments = nil
+	l.lastSeq = seq
+	return nil
+}
+
+// Sync forces buffered appends to stable storage.
+func (l *DiskLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *DiskLog) syncLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.seg == nil || !l.dirty {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.failed = true
+		return fmt.Errorf("store: sync segment: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// flushLoop is the group-commit flusher under FsyncInterval.
+func (l *DiskLog) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed {
+				l.syncLocked() // a failed sync marks the log failed; Append surfaces it
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close syncs under durable policies and releases the log.
+func (l *DiskLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.closeSegmentLocked()
+	l.closed = true
+	l.mu.Unlock()
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+	}
+	return err
+}
