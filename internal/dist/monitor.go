@@ -323,8 +323,12 @@ func (m *Monitor) reseedSlot(si int, dial func() (*Conn, error)) error {
 	// the first connection on failure, so each path dials again. The
 	// slice's WAL store, when attached, wins over legacy checkpoint files:
 	// snapshot + journal tail replay covers every acknowledged batch,
-	// while a CCKP file only covers up to its last checkpoint tick.
-	if m.c.sliceStore(si) != nil {
+	// while a CCKP file only covers up to its last checkpoint tick. The
+	// exception is a store with no journaled state at all (attached after
+	// the data was ingested, or before any fan-out was journaled): it
+	// would rebuild the slice empty, so a configured checkpoint directory
+	// — which may hold a valid legacy snapshot — takes over instead.
+	if st := m.c.sliceStore(si); st != nil && (m.opts.CheckpointDir == "" || !st.Empty()) {
 		conn, rerr := dial()
 		if rerr != nil {
 			return errors.Join(err, rerr)

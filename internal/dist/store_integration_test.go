@@ -489,6 +489,81 @@ func TestMonitorReseedFromSliceStore(t *testing.T) {
 	requireEvaluateAllEqual(t, "monitor reseed from store", coord, local)
 }
 
+// TestMonitorReseedEmptyStoreFallsBackToCheckpoint: a slice store attached
+// only after the data had already been ingested holds no journaled state.
+// When the whole slice then dies, the reseed must not "succeed" by
+// rebuilding the slice empty from that store while a legacy checkpoint
+// directory holds a valid snapshot of the data — the empty store yields to
+// the checkpoint.
+func TestMonitorReseedEmptyStoreFallsBackToCheckpoint(t *testing.T) {
+	const crowdSize, tasks = 8, 160
+	subs := testStream(t, crowdSize, tasks, 97)
+
+	victim, victimAddr := serveWorkerOn(t, "", crowdSize, "victim")
+	dial := func() (*Conn, error) { return DialTCPTimeout(victimAddr, 5*time.Second) }
+	cv, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCluster(crowdSize, [][]ReplicaSpec{{{Conn: cv, Dial: dial}}}, chaosPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	var batch []Response
+	for _, s := range subs {
+		batch = append(batch, Response{Worker: s.w, Task: s.t, Answer: s.r})
+	}
+	if err := coord.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	ckptDir := t.TempDir()
+	if _, err := coord.CheckpointAll(ckptDir); err != nil {
+		t.Fatal(err)
+	}
+	// Attach the store only now: nothing above was journaled into it.
+	st := openTestStore(t, t.TempDir())
+	defer st.Close()
+	if err := coord.AttachSliceStores([]*store.Store{st}); err != nil {
+		t.Fatal(err)
+	}
+
+	coord.StartMonitor(MonitorOptions{
+		Interval:      20 * time.Millisecond,
+		SuspectAfter:  1,
+		DownAfter:     2,
+		ReseedEvery:   40 * time.Millisecond,
+		CheckpointDir: ckptDir,
+	})
+
+	if err := victim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	serveWorkerOn(t, victimAddr, crowdSize, "victim-reborn")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		view := coord.Membership()
+		if view[0].State == "alive" && view[0].Reseeds >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never reseeded; membership %+v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	total, err := coord.Responses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(subs) {
+		t.Fatalf("cluster holds %d responses after reseed, want %d (empty store shadowed the checkpoint)", total, len(subs))
+	}
+	requireEvaluateAllEqual(t, "empty-store checkpoint fallback", coord, localReference(t, crowdSize, subs))
+}
+
 // TestCheckpointGenerationFallback: CheckpointAll keeps the previous
 // generation as .ckpt.1; when the newest file is corrupted on disk, the
 // reseed path's reader skips it and loads the older valid generation, and

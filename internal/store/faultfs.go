@@ -176,6 +176,19 @@ func (f *FaultFS) Truncate(name string, size int64) error {
 	return f.inner.Truncate(name, size)
 }
 
+func (f *FaultFS) SyncFile(name string) error {
+	f.mu.Lock()
+	crashed, syncErr := f.crashed, f.syncErr
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return f.inner.SyncFile(name)
+}
+
 func (f *FaultFS) SyncDir(name string) error {
 	f.mu.Lock()
 	crashed, syncErr := f.crashed, f.syncErr

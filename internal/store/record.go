@@ -37,9 +37,20 @@ const (
 	recTrailerLen = 4
 
 	// maxRecordPayload bounds a single record so a corrupt length field
-	// cannot demand a multi-gigabyte allocation. Ingest batches are far
-	// smaller than this.
+	// cannot demand a multi-gigabyte allocation. The bound is enforced on
+	// both sides: DecodeRecord rejects larger frames as corrupt, and
+	// Append splits batches so no frame it writes can exceed it.
 	maxRecordPayload = 1 << 24
+
+	// maxResponseEncoded is the worst-case encoded size of one response:
+	// worker and task are uvarints ≤ maxInt31 (5 bytes each), the answer
+	// is ≤ 255 (2 bytes).
+	maxResponseEncoded = 5 + 5 + 2
+
+	// maxBatchResponses is how many responses are guaranteed to fit one
+	// record payload under maxRecordPayload, worst case, after the count
+	// varint. Append chunks batches at this size.
+	maxBatchResponses = (maxRecordPayload - binary.MaxVarintLen64) / maxResponseEncoded
 
 	// maxUvarint53 caps decoded varints below 2^53, mirroring the wire
 	// codec's safe-integer bound.
@@ -146,6 +157,26 @@ func decodeBatchPayload(b []byte) ([]Response, error) {
 // maxInt31 bounds worker and task indices to values that fit int on every
 // platform and stay far from slice-length overflow.
 const maxInt31 = 1<<31 - 1
+
+// validateResponses rejects, before anything reaches disk, a batch the
+// decoder would refuse to read back. Journaling an undecodable record
+// would be worse than failing the append: recovery treats it as
+// corruption and truncates the log there, silently dropping every acked
+// record after it.
+func validateResponses(rs []Response) error {
+	for _, r := range rs {
+		if r.Worker < 0 || int64(r.Worker) > maxInt31 {
+			return fmt.Errorf("store: worker index %d out of journalable range", r.Worker)
+		}
+		if r.Task < 0 || int64(r.Task) > maxInt31 {
+			return fmt.Errorf("store: task index %d out of journalable range", r.Task)
+		}
+		if r.Answer < 1 || r.Answer > 255 {
+			return fmt.Errorf("store: answer %d out of journalable range", r.Answer)
+		}
+	}
+	return nil
+}
 
 // appendRecord appends the framed record to b.
 func appendRecord(b []byte, seq uint64, typ byte, payload []byte) []byte {

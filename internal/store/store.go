@@ -93,6 +93,19 @@ func (s *Store) Recover(restore func(Snapshot) error, apply func(Record) error) 
 	return s.Log.Replay(replayFrom, apply)
 }
 
+// Empty reports whether the store holds no durable state at all: no
+// journal record was ever appended and no usable snapshot exists. An
+// empty store is one that was attached but never saw a fan-out; recovery
+// from it yields empty state, so callers with an older seed source (a
+// legacy checkpoint, say) should prefer that instead.
+func (s *Store) Empty() bool {
+	if s.Log.LastSeq() > 0 {
+		return false
+	}
+	_, ok, _ := s.Snapshots.Latest()
+	return !ok
+}
+
 // Close releases the engine.
 func (s *Store) Close() error {
 	return s.Log.Close()

@@ -30,6 +30,12 @@ type FS interface {
 	Remove(name string) error
 	// Truncate cuts a file to the given size.
 	Truncate(name string, size int64) error
+	// SyncFile fsyncs a file by name, making a preceding Truncate (or any
+	// write through another handle) durable. Recovery needs it: cutting a
+	// torn tail is only real once it is on stable storage, or the tear
+	// resurfaces after the next power loss — underneath records acked
+	// since.
+	SyncFile(name string) error
 	// SyncDir fsyncs a directory, making renames/creates/removes inside it
 	// durable. Rename alone is NOT durable across power loss: the new
 	// directory entry lives in the parent's data blocks, which need their
@@ -77,6 +83,18 @@ func (OSFS) ReadDir(name string) ([]string, error) {
 func (OSFS) Rename(oldpath, newpath string) error   { return os.Rename(oldpath, newpath) }
 func (OSFS) Remove(name string) error               { return os.Remove(name) }
 func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncFile(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func (OSFS) SyncDir(name string) error {
 	d, err := os.Open(name)

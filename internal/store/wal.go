@@ -245,6 +245,7 @@ func OpenLog(fsys FS, dir string, opts Options) (*DiskLog, error) {
 // entirely if nothing valid remains) and all later segments are dropped.
 func (l *DiskLog) recover(segs []segInfo) error {
 	lastSeq := uint64(0)
+	mutated := false // any truncate/remove needs a directory fsync to stick
 	for i := 0; i < len(segs); i++ {
 		s := segs[i]
 		path := filepath.Join(l.dir, s.name)
@@ -301,12 +302,24 @@ func (l *DiskLog) recover(segs []segInfo) error {
 			if err := l.fsys.Truncate(path, valid); err != nil {
 				return fmt.Errorf("store: truncate torn segment %s: %w", s.name, err)
 			}
+			// The cut must be durable before any new appends: if it only
+			// lives in the page cache and power is lost after fresh
+			// records were acked, the tear resurfaces and the next
+			// recovery truncates there — deleting the segments that held
+			// the acked records.
+			if l.opts.Fsync != FsyncNever {
+				if err := l.fsys.SyncFile(path); err != nil {
+					return fmt.Errorf("store: sync truncated segment %s: %w", s.name, err)
+				}
+			}
+			mutated = true
 			segs = segs[:i+1]
 		} else {
 			if err := l.fsys.Remove(path); err != nil {
 				return fmt.Errorf("store: remove unusable segment %s: %w", s.name, err)
 			}
 			l.recovery.DroppedSegments++
+			mutated = true
 			segs = segs[:i]
 		}
 		// Everything after the truncation point is dropped below: with the
@@ -324,17 +337,16 @@ func (l *DiskLog) recover(segs []segInfo) error {
 	if err != nil {
 		return fmt.Errorf("store: list wal dir: %w", err)
 	}
-	removedAny := false
 	for _, name := range all {
 		if _, ok := parseSegName(name); ok && !keep[name] {
 			if err := l.fsys.Remove(filepath.Join(l.dir, name)); err != nil {
 				return fmt.Errorf("store: remove orphaned segment %s: %w", name, err)
 			}
 			l.recovery.DroppedSegments++
-			removedAny = true
+			mutated = true
 		}
 	}
-	if removedAny && l.opts.Fsync != FsyncNever {
+	if mutated && l.opts.Fsync != FsyncNever {
 		if err := l.fsys.SyncDir(l.dir); err != nil {
 			return fmt.Errorf("store: sync wal dir: %w", err)
 		}
@@ -357,10 +369,18 @@ func (l *DiskLog) LastSeq() uint64 {
 	return l.lastSeq
 }
 
-// Append journals one batch; see Log.Append.
+// Append journals one batch; see Log.Append. A batch whose encoded
+// payload would exceed maxRecordPayload — which DecodeRecord rejects as
+// corrupt, so journaling it as one frame would turn the next recovery
+// into silent truncation of acked data — is split across several
+// records; the returned sequence number is the last one assigned, and
+// durability (per the fsync policy) covers the whole batch.
 func (l *DiskLog) Append(responses []Response) (uint64, error) {
 	if len(responses) == 0 {
 		return 0, fmt.Errorf("store: refusing to journal an empty batch")
+	}
+	if err := validateResponses(responses); err != nil {
+		return 0, err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -370,28 +390,38 @@ func (l *DiskLog) Append(responses []Response) (uint64, error) {
 	case l.failed:
 		return 0, ErrLogFailed
 	}
-	seq := l.lastSeq + 1
-	frame := EncodeRecord(Record{Seq: seq, Responses: toResponses(responses)})
-	if err := l.ensureSegmentLocked(int64(len(frame))); err != nil {
-		return 0, err
+	seq := l.lastSeq
+	for rest := toResponses(responses); len(rest) > 0; {
+		chunk := rest
+		if len(chunk) > maxBatchResponses {
+			chunk = chunk[:maxBatchResponses]
+		}
+		rest = rest[len(chunk):]
+		seq++
+		frame := EncodeRecord(Record{Seq: seq, Responses: chunk})
+		if err := l.ensureSegmentLocked(int64(len(frame))); err != nil {
+			return 0, err
+		}
+		if _, err := l.seg.Write(frame); err != nil {
+			// The frame may be half on disk; recovery will truncate it,
+			// but appending more frames after a torn one would bury
+			// valid-looking garbage mid-log.
+			l.failed = true
+			return 0, fmt.Errorf("store: append record %d: %w", seq, err)
+		}
+		l.segSize += int64(len(frame))
+		l.dirty = true
+		// Advance per frame so a mid-batch rotation names the next
+		// segment after the records already written.
+		l.lastSeq = seq
 	}
-	if _, err := l.seg.Write(frame); err != nil {
-		// The frame may be half on disk; recovery will truncate it, but
-		// appending more frames after a torn one would bury valid-looking
-		// garbage mid-log.
-		l.failed = true
-		return 0, fmt.Errorf("store: append record %d: %w", seq, err)
-	}
-	l.segSize += int64(len(frame))
 	if l.opts.Fsync == FsyncAlways {
 		if err := l.seg.Sync(); err != nil {
 			l.failed = true
 			return 0, fmt.Errorf("store: sync record %d: %w", seq, err)
 		}
-	} else {
-		l.dirty = true
+		l.dirty = false
 	}
-	l.lastSeq = seq
 	return seq, nil
 }
 
@@ -413,23 +443,33 @@ func (l *DiskLog) ensureSegmentLocked(incoming int64) error {
 	}
 	first := l.lastSeq + 1
 	name := segName(first)
-	f, err := l.fsys.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	path := filepath.Join(l.dir, name)
+	f, err := l.fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: create segment %s: %w", name, err)
 	}
+	// A failure past the O_EXCL create must not leave the partial file
+	// behind: it is not tracked in l.segments, so every retry would hit
+	// "file exists" — a wedged log with a misleading error. Removing it
+	// lets a retry start clean; if even the remove fails, mark the log
+	// failed so callers get the canonical reopen-to-recover signal.
+	abandon := func(cause error) error {
+		f.Close()
+		if rerr := l.fsys.Remove(path); rerr != nil {
+			l.failed = true
+		}
+		return cause
+	}
 	hdr := encodeSegHeader(first)
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
-		return fmt.Errorf("store: write segment header %s: %w", name, err)
+		return abandon(fmt.Errorf("store: write segment header %s: %w", name, err))
 	}
 	if l.opts.Fsync != FsyncNever {
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("store: sync segment header %s: %w", name, err)
+			return abandon(fmt.Errorf("store: sync segment header %s: %w", name, err))
 		}
 		if err := l.fsys.SyncDir(l.dir); err != nil {
-			f.Close()
-			return fmt.Errorf("store: sync wal dir: %w", err)
+			return abandon(fmt.Errorf("store: sync wal dir: %w", err))
 		}
 	}
 	l.seg = f

@@ -264,6 +264,151 @@ func TestLogAppendRejectsEmptyBatch(t *testing.T) {
 	}
 }
 
+func TestLogAppendSplitsOversizedBatch(t *testing.T) {
+	// A batch whose single-record encoding exceeds maxRecordPayload.
+	// DecodeRecord rejects such frames as corrupt, so journaling one
+	// unsplit would make the next recovery silently truncate acked data —
+	// the append path must keep every frame it writes under the bound.
+	batch := make([]Response, maxBatchResponses+3)
+	for i := range batch {
+		// Large indices and a two-byte answer give the worst-case 12-byte
+		// encoding the chunk bound is derived from.
+		batch[i] = Response{Worker: maxInt31, Task: maxInt31, Answer: crowd.Response(128 + i%128)}
+	}
+	if n := len(encodeBatchPayload(nil, batch)); n <= maxRecordPayload {
+		t.Fatalf("test batch encodes to %d bytes, want > %d", n, maxRecordPayload)
+	}
+
+	dir := t.TempDir()
+	opts := Options{Fsync: FsyncNever}
+	l := openTestLog(t, OSFS{}, dir, opts)
+	seq, err := l.Append(batch)
+	if err != nil {
+		t.Fatalf("oversized batch append: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("oversized batch assigned last seq %d, want 2 (split into two records)", seq)
+	}
+	check := func(l *DiskLog) {
+		t.Helper()
+		recs := collect(t, l, 1)
+		var got []Response
+		for i, r := range recs {
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("record %d has seq %d", i, r.Seq)
+			}
+			if n := len(encodeBatchPayload(nil, r.Responses)); n > maxRecordPayload {
+				t.Fatalf("record %d payload is %d bytes, above the decode bound", i, n)
+			}
+			got = append(got, r.Responses...)
+		}
+		if len(got) != len(batch) {
+			t.Fatalf("replayed %d responses, want %d", len(got), len(batch))
+		}
+		for i := range got {
+			if got[i] != batch[i] {
+				t.Fatalf("response %d replayed as %+v, want %+v", i, got[i], batch[i])
+			}
+		}
+	}
+	check(l)
+	l.Close()
+	// The decisive half: reopen-time recovery must accept every frame
+	// rather than treating the batch as corruption.
+	l2 := openTestLog(t, OSFS{}, dir, opts)
+	if info := l2.Recovery(); info.TruncatedBytes != 0 || info.DroppedSegments != 0 {
+		t.Fatalf("recovery repaired a healthy log: %+v", info)
+	}
+	if l2.LastSeq() != 2 {
+		t.Fatalf("reopened LastSeq = %d, want 2", l2.LastSeq())
+	}
+	check(l2)
+}
+
+func TestLogAppendRejectsUnjournalableResponses(t *testing.T) {
+	// Fields the decoder would refuse must be rejected before they reach
+	// disk: a journaled-but-undecodable record reads back as corruption
+	// and truncates the log there on recovery.
+	l := openTestLog(t, OSFS{}, t.TempDir(), Options{})
+	bad := [][]Response{
+		{{Worker: -1, Task: 0, Answer: crowd.Yes}},
+		{{Worker: 0, Task: -3, Answer: crowd.Yes}},
+		{{Worker: 0, Task: 0, Answer: crowd.None}},
+		{{Worker: 0, Task: 0, Answer: crowd.Response(300)}},
+	}
+	for i, batch := range bad {
+		if _, err := l.Append(batch); err == nil {
+			t.Fatalf("case %d: undecodable batch journaled", i)
+		}
+	}
+	if l.LastSeq() != 0 {
+		t.Fatalf("rejected batches advanced the sequence counter to %d", l.LastSeq())
+	}
+	if seq, err := l.Append(testBatch(0)); err != nil || seq != 1 {
+		t.Fatalf("valid append after rejections: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestLogRecoverySyncsTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentSize: 1 << 20, Fsync: FsyncAlways}
+	l := openTestLog(t, OSFS{}, dir, opts)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	names, _ := OSFS{}.ReadDir(dir)
+	var seg string
+	for _, name := range names {
+		if _, ok := parseSegName(name); ok {
+			seg = filepath.Join(dir, name)
+		}
+	}
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery must fsync the cut before the log accepts new appends, and
+	// a failing sync has to surface — a truncation living only in the page
+	// cache can resurface after power loss, underneath records acked since.
+	ffs := NewFaultFS(OSFS{})
+	ffs.SetSyncError(errors.New("injected sync failure"))
+	if _, err := OpenLog(ffs, dir, opts); err == nil || !strings.Contains(err.Error(), "sync truncated segment") {
+		t.Fatalf("recovery with unsyncable truncation: %v, want surfaced sync failure", err)
+	}
+	ffs.SetSyncError(nil)
+	l2 := openTestLog(t, ffs, dir, opts)
+	if l2.LastSeq() != 9 {
+		t.Fatalf("recovered LastSeq = %d, want 9", l2.LastSeq())
+	}
+}
+
+func TestLogSegmentCreateFailureIsRetryable(t *testing.T) {
+	ffs := NewFaultFS(OSFS{})
+	dir := t.TempDir()
+	l := openTestLog(t, ffs, dir, Options{Fsync: FsyncAlways})
+	// Fail the very first write — the new segment's header. The partial
+	// O_EXCL-created file must not survive to wedge every retry on a
+	// misleading "file exists".
+	ffs.SetWriteBudget(5, FaultENOSPC)
+	if _, err := l.Append(testBatch(0)); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("append with failing header write: %v, want ErrNoSpace", err)
+	}
+	ffs.SetWriteBudget(-1, FaultNone)
+	seq, err := l.Append(testBatch(0))
+	if err != nil || seq != 1 {
+		t.Fatalf("retry after header write failure: seq=%d err=%v", seq, err)
+	}
+	if got := collect(t, l, 1); len(got) != 1 {
+		t.Fatalf("replay has %d records, want 1", len(got))
+	}
+}
+
 func TestLogENOSPCFailsClosed(t *testing.T) {
 	ffs := NewFaultFS(OSFS{})
 	dir := t.TempDir()
