@@ -85,6 +85,29 @@ type benchRecord struct {
 	Nodes int `json:"nodes,omitempty"`
 }
 
+// validateCounts rejects nonsensical count flags up front, naming the
+// offending flag. Zero keeps its documented "pick the default" meaning
+// where one exists (-replicates, -ingest-goroutines); negatives never
+// mean anything.
+func validateCounts(replicates, workers, tasks, goroutines, shards int) error {
+	if replicates < 0 {
+		return fmt.Errorf("-replicates must not be negative (0 means the paper's default), got %d", replicates)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-ingest-workers must be positive, got %d", workers)
+	}
+	if tasks <= 0 {
+		return fmt.Errorf("-ingest-tasks must be positive, got %d", tasks)
+	}
+	if goroutines < 0 {
+		return fmt.Errorf("-ingest-goroutines must not be negative (0 means GOMAXPROCS), got %d", goroutines)
+	}
+	if shards <= 0 {
+		return fmt.Errorf("-dist-shards must be positive, got %d", shards)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "", "experiment to run (fig1…fig5c, or \"all\")")
@@ -106,6 +129,11 @@ func main() {
 		distShards = flag.Int("dist-shards", 2, "distributed benchmark: task-stripe shards per node")
 	)
 	flag.Parse()
+
+	if err := validateCounts(*replicates, *ingestWorkers, *ingestTasks, *ingestGoroutines, *distShards); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

@@ -48,3 +48,32 @@ func TestParseCountList(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateCounts: the count flags reject nonsense with errors that
+// name the flag, while zero keeps its documented default-selecting
+// meaning where one exists.
+func TestValidateCounts(t *testing.T) {
+	if err := validateCounts(0, 64, 4000, 0, 2); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	if err := validateCounts(500, 8, 100, 4, 1); err != nil {
+		t.Errorf("valid counts rejected: %v", err)
+	}
+	cases := []struct {
+		name                                           string
+		replicates, workers, tasks, goroutines, shards int
+		flag                                           string
+	}{
+		{"negative replicates", -1, 64, 4000, 0, 2, "-replicates"},
+		{"zero workers", 0, 0, 4000, 0, 2, "-ingest-workers"},
+		{"negative tasks", 0, 64, -5, 0, 2, "-ingest-tasks"},
+		{"negative goroutines", 0, 64, 4000, -1, 2, "-ingest-goroutines"},
+		{"zero shards", 0, 64, 4000, 0, 0, "-dist-shards"},
+	}
+	for _, c := range cases {
+		err := validateCounts(c.replicates, c.workers, c.tasks, c.goroutines, c.shards)
+		if err == nil || !strings.Contains(err.Error(), c.flag) {
+			t.Errorf("%s: err = %v, want an error naming %s", c.name, err, c.flag)
+		}
+	}
+}

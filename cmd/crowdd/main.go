@@ -92,7 +92,11 @@ func main() {
 		hbInterval = flag.Duration("heartbeat-interval", dist.DefaultHeartbeatInterval, "coordinator heartbeat probe interval (-coordinate mode)")
 	)
 	flag.Parse()
-	cfg, err := validateStorage(*ckpt, *ckptEvery, *wal, *fsyncSpec, *snapEvery, *migrate)
+	err := validateTimeouts(*rpcTimeout, *hbInterval)
+	var cfg storageConfig
+	if err == nil {
+		cfg, err = validateStorage(*ckpt, *ckptEvery, *wal, *fsyncSpec, *snapEvery, *migrate)
+	}
 	if err == nil {
 		if *coordinate != "" {
 			err = coordinatorMain(*coordinate, *nwork, *health, *rpcTimeout, *hbInterval, cfg)
@@ -104,6 +108,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crowdd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// validateTimeouts rejects nonsensical duration flags up front, naming
+// the offending flag, instead of letting a negative timeout be silently
+// ignored (the old -rpc-timeout behavior) or a zero interval be silently
+// replaced by a default the operator never asked for.
+func validateTimeouts(rpcTimeout, hbInterval time.Duration) error {
+	if rpcTimeout < 0 {
+		return fmt.Errorf("-rpc-timeout must not be negative (0 means defaults), got %v", rpcTimeout)
+	}
+	if hbInterval <= 0 {
+		return fmt.Errorf("-heartbeat-interval must be positive, got %v", hbInterval)
+	}
+	return nil
 }
 
 // coordinatorMain maps the flag surface onto runCoordinator: -rpc-timeout

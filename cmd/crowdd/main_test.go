@@ -306,3 +306,26 @@ func TestMigrateCheckpointSeedsWAL(t *testing.T) {
 		t.Fatalf("wrong refusal: %v", err)
 	}
 }
+
+// TestValidateTimeouts: the duration flags reject nonsense with errors
+// that name the flag. A negative -rpc-timeout used to be silently
+// ignored; a zero -heartbeat-interval used to be silently replaced by
+// the monitor's default.
+func TestValidateTimeouts(t *testing.T) {
+	if err := validateTimeouts(0, time.Second); err != nil {
+		t.Errorf("zero rpc-timeout (= defaults) rejected: %v", err)
+	}
+	if err := validateTimeouts(30*time.Second, time.Second); err != nil {
+		t.Errorf("valid timeouts rejected: %v", err)
+	}
+	err := validateTimeouts(-time.Second, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "-rpc-timeout") {
+		t.Errorf("negative -rpc-timeout: err = %v, want an error naming the flag", err)
+	}
+	for _, hb := range []time.Duration{0, -time.Second} {
+		err := validateTimeouts(0, hb)
+		if err == nil || !strings.Contains(err.Error(), "-heartbeat-interval") {
+			t.Errorf("heartbeat-interval %v: err = %v, want an error naming the flag", hb, err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The badmod fixture under testdata is a tiny self-contained module
+// whose package paths (internal/core, internal/store) land inside the
+// analyzers' scopes and carry one violation each. Driving the real run()
+// against it pins the CLI contract: exit 1 with findings, exit 0 clean,
+// exit 2 on usage errors, and the -json / -checks flags.
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFindingsExitNonZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", "testdata/badmod", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"internal/core/bad.go:10:", "determinism: call to time.Now",
+		"internal/store/bad.go:10:", "errclass: error discarded with _",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "2 finding(s)") {
+		t.Errorf("stderr missing summary: %q", stderr)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-C", "testdata/badmod", "./internal/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean run produced output: %q", stdout)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-C", "testdata/badmod", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2: %+v", len(diags), diags)
+	}
+	checks := map[string]bool{}
+	for _, d := range diags {
+		checks[d.Check] = true
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("finding missing fields: %+v", d)
+		}
+	}
+	if !checks["determinism"] || !checks["errclass"] {
+		t.Errorf("finding checks = %v, want determinism and errclass", checks)
+	}
+}
+
+func TestChecksFlagSelectsSubset(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-checks", "errclass", "-C", "testdata/badmod", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "determinism") {
+		t.Errorf("-checks errclass still ran determinism:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "errclass: error discarded") {
+		t.Errorf("-checks errclass dropped its own finding:\n%s", stdout)
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	code, _, stderr := runCLI(t, "-checks", "nosuch", "-C", "testdata/badmod", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown check") {
+		t.Errorf("stderr missing diagnosis: %q", stderr)
+	}
+}
+
+func TestNoPackagesIsUsageError(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestSubtreePattern(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-C", "testdata/badmod", "./internal/store/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout, "determinism") {
+		t.Errorf("subtree pattern leaked other packages:\n%s", stdout)
+	}
+}

@@ -1,0 +1,11 @@
+// Package core stands in for a bit-identity-critical package: its
+// module-relative path matches the determinism analyzer's scope, so the
+// wall-clock read below must be reported.
+package core
+
+import "time"
+
+// Stamp reads the wall clock on a decision path.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,11 @@
+// Package store stands in for the storage engine: its path matches the
+// errclass analyzer's scope, so the blank-discarded error below must be
+// reported.
+package store
+
+import "errors"
+
+// Drop throws an error away.
+func Drop() {
+	_ = errors.New("dropped")
+}

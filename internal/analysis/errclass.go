@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrClassAnalyzer keeps the RPC failure-classification table honest.
+// Every retry/degrade decision in the cluster flows through
+// Transient(); a sentinel error or error type added to the package but
+// never classified silently inherits the default branch, which is
+// exactly how a permanent failure ends up retried (or vice versa). The
+// analyzer also forbids discarding error values into the blank
+// identifier in the storage and cluster packages: an ignored error
+// there is an ignored lost write.
+var ErrClassAnalyzer = &Analyzer{
+	Name: "errclass",
+	Doc: "package-level error sentinels/types in a package defining Transient() must be " +
+		"referenced by the classification table; error values must not be discarded with _ ",
+	Scopes: []Scope{
+		{Packages: []string{"internal/dist", "internal/store"}},
+	},
+	Run: runErrClass,
+}
+
+func runErrClass(pass *Pass) {
+	checkTransientTable(pass)
+	checkBlankErrorDiscards(pass)
+}
+
+// checkTransientTable applies only when the package defines a function
+// named Transient (the classification table): every package-level
+// error sentinel and error-implementing type must be referenced from
+// Transient's body or from a function Transient directly calls, so a
+// new error class cannot cross the RPC boundary unclassified.
+func checkTransientTable(pass *Pass) {
+	info := pass.Pkg.Info
+
+	var transient *ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "Transient" && fd.Body != nil {
+				transient = fd
+			}
+		}
+	}
+	if transient == nil {
+		return
+	}
+
+	// The classification closure: objects referenced by Transient and by
+	// the package-level functions it calls directly (isRemote and
+	// friends are part of the table).
+	referenced := map[types.Object]bool{}
+	var scanBody func(fd *ast.FuncDecl, depth int)
+	scanned := map[*ast.FuncDecl]bool{}
+	bodyOf := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := info.Defs[fd.Name]; obj != nil {
+					bodyOf[obj] = fd
+				}
+			}
+		}
+	}
+	scanBody = func(fd *ast.FuncDecl, depth int) {
+		if scanned[fd] || depth > 1 {
+			return
+		}
+		scanned[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			referenced[obj] = true
+			if callee, ok := bodyOf[obj]; ok {
+				scanBody(callee, depth+1)
+			}
+			return true
+		})
+	}
+	scanBody(transient, 0)
+
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		switch obj := obj.(type) {
+		case *types.Var:
+			if !types.Implements(obj.Type(), errType) || referenced[obj] {
+				continue
+			}
+			pass.Reportf(obj.Pos(), "sentinel error %s is not classified by Transient(): add it to the table (or to a helper Transient calls) so retries treat it deliberately", name)
+		case *types.TypeName:
+			t := obj.Type()
+			if !types.Implements(t, errType) && !types.Implements(types.NewPointer(t), errType) {
+				continue
+			}
+			if referenced[obj] {
+				continue
+			}
+			pass.Reportf(obj.Pos(), "error type %s is not classified by Transient(): add it to the table (or to a helper Transient calls) so retries treat it deliberately", name)
+		}
+	}
+}
+
+// checkBlankErrorDiscards flags assignments that drop an error value
+// into the blank identifier.
+func checkBlankErrorDiscards(pass *Pass) {
+	info := pass.Pkg.Info
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					continue
+				}
+				var t types.Type
+				if len(as.Rhs) == len(as.Lhs) {
+					t = info.TypeOf(as.Rhs[i])
+				} else if len(as.Rhs) == 1 {
+					// Multi-value call: pick the tuple component.
+					if tv, ok := info.Types[as.Rhs[0]]; ok {
+						if tup, ok := tv.Type.(*types.Tuple); ok && i < tup.Len() {
+							t = tup.At(i).Type()
+						}
+					}
+				}
+				if t != nil && types.Identical(t, errType) {
+					pass.Reportf(id.Pos(), "error discarded with _: check it, return it, or suppress with a crowdvet:ignore carrying the justification")
+				}
+			}
+			return true
+		})
+	}
+}

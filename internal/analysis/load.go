@@ -1,0 +1,293 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package of the module under
+// analysis (or a test fixture).
+type Package struct {
+	// ImportPath is the path the package was loaded under.
+	ImportPath string
+	// Rel is the module-relative path ("internal/core"; "" for the
+	// module root package). For fixture packages it is the synthetic
+	// path they were registered under.
+	Rel string
+	// Dir is the directory the files came from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// FileNames are the absolute paths, parallel to Files.
+	FileNames []string
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// FileBase returns the base name of the file containing pos.
+func (p *Package) FileBase(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// Loader parses and type-checks packages from source with no toolchain
+// or network dependency: module packages resolve under the module root,
+// everything else under GOROOT/src (with the GOROOT vendor tree for the
+// stdlib's vendored golang.org/x imports). One Loader caches every
+// package it has checked, so analyzing ./... type-checks shared
+// dependencies once.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod
+	ModDir  string // absolute module root
+	// Extra maps synthetic import paths to directories, for loading
+	// test fixtures that live outside the module's package tree.
+	Extra map[string]string
+
+	ctxt    build.Context
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader rooted at the module containing dir (found
+// by walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	// Cgo selects import-"C" files the pure type-checker cannot handle;
+	// every package we need (including net) has a cgo-free fallback.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		ModPath: modPath,
+		ModDir:  modDir,
+		Extra:   map[string]string{},
+		ctxt:    ctxt,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and parses its
+// module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer so the loader can feed itself to the
+// type-checker.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// Load parses and type-checks the package at the given import path,
+// returning the cached result on subsequent calls. Module and fixture
+// packages get full type information; dependencies outside the module
+// are checked for their exported API only (nil Info).
+func (l *Loader) Load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{ImportPath: path, Types: types.Unsafe, Fset: l.Fset}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	dir, inModule, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.loadDir(path, dir, inModule)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// resolveDir maps an import path to a source directory: fixture paths
+// via Extra, module paths under ModDir, everything else under GOROOT.
+func (l *Loader) resolveDir(path string) (dir string, inModule bool, err error) {
+	if d, ok := l.Extra[path]; ok {
+		return d, true, nil
+	}
+	if rel, ok := l.moduleRel(path); ok {
+		return filepath.Join(l.ModDir, filepath.FromSlash(rel)), true, nil
+	}
+	for _, d := range []string{
+		filepath.Join(l.ctxt.GOROOT, "src", filepath.FromSlash(path)),
+		filepath.Join(l.ctxt.GOROOT, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(d); err == nil && st.IsDir() {
+			return d, false, nil
+		}
+	}
+	return "", false, fmt.Errorf("cannot resolve import %q (the module is dependency-free; only stdlib and %s/... imports exist)", path, l.ModPath)
+}
+
+// moduleRel returns the module-relative form of path if it names a
+// package in the module.
+func (l *Loader) moduleRel(path string) (string, bool) {
+	if path == l.ModPath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// loadDir parses the non-test Go files of one directory (build-tag
+// filtered via go/build) and type-checks them.
+func (l *Loader) loadDir(path, dir string, inModule bool) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	var fileNames []string
+	for _, name := range names {
+		abs := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.Fset, abs, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		fileNames = append(fileNames, abs)
+	}
+	var info *types.Info
+	if inModule {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	rel := path
+	if r, ok := l.moduleRel(path); ok {
+		rel = r
+	}
+	return &Package{
+		ImportPath: path,
+		Rel:        rel,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		FileNames:  fileNames,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadFixture registers dir under a synthetic import path and loads it
+// with full type information. Fixture files may import real module
+// packages (crowdassess/internal/mat, …), so fixtures type-check
+// against the live APIs and signature drift breaks analyzer tests
+// loudly.
+func (l *Loader) LoadFixture(path, dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.Extra[path] = abs
+	return l.Load(path)
+}
+
+// ModulePackages walks the module tree and returns the module-relative
+// paths of every directory containing non-test Go files, skipping
+// testdata, vendor and hidden directories. The result is sorted.
+func (l *Loader) ModulePackages() ([]string, error) {
+	var rels []string
+	err := filepath.WalkDir(l.ModDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModDir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			rel, err := filepath.Rel(l.ModDir, p)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			rels = append(rels, filepath.ToSlash(rel))
+			break
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+// ImportPathFor converts a module-relative path back to a full import
+// path.
+func (l *Loader) ImportPathFor(rel string) string {
+	if rel == "" {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + rel
+}

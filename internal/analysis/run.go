@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Run executes the given analyzers over one package: scope filtering,
+// generated-file skipping and suppression handling included. The
+// returned diagnostics are the surviving findings plus any
+// suppression-policy findings, sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkg, analyzers, true)
+}
+
+// RunForTest executes analyzers with scope filtering disabled, so
+// fixture packages under testdata trip the checks regardless of their
+// synthetic import paths. Suppression and generated-file handling stay
+// active (they are under test too).
+func RunForTest(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return run(pkg, analyzers, false)
+}
+
+func run(pkg *Package, analyzers []*Analyzer, scoped bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(d Diagnostic) { out = append(out, d) }
+
+	// Generated files are invisible to every check, including the
+	// suppression police.
+	skipFile := map[string]bool{}
+	var sups []suppression
+	for i, f := range pkg.Files {
+		if isGenerated(f) {
+			skipFile[pkg.FileNames[i]] = true
+			continue
+		}
+		sups = append(sups, collectSuppressions(pkg.Fset, f, AnalyzerNames(), report)...)
+	}
+
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) { raw = append(raw, d) }}
+		a.Run(pass)
+		for _, d := range raw {
+			if skipFile[d.Pos.Filename] {
+				continue
+			}
+			if scoped {
+				// Re-derive the token.Pos for scope checks from the file
+				// offset; Reportf recorded the Position, so find the file.
+				if !diagInScope(a, pkg, d) {
+					continue
+				}
+			}
+			if suppressed(d, sups) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// diagInScope maps the diagnostic's recorded Position back to a
+// token.Pos in the package's files and applies the analyzer's scopes.
+func diagInScope(a *Analyzer, pkg *Package, d Diagnostic) bool {
+	for i, name := range pkg.FileNames {
+		if name != d.Pos.Filename {
+			continue
+		}
+		f := pkg.Files[i]
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil || d.Pos.Offset >= tf.Size() {
+			return inScope(a, pkg, filepath.Base(name), f.Pos())
+		}
+		return inScope(a, pkg, filepath.Base(name), tf.Pos(d.Pos.Offset))
+	}
+	return false
+}
+
+// WriteText renders diagnostics one per line in file:line:col form,
+// with paths relative to root when possible.
+func WriteText(w io.Writer, root string, diags []Diagnostic) {
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as a JSON array for tooling.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		out = append(out, jsonDiag{File: name, Line: d.Pos.Line, Col: d.Pos.Column, Check: d.Check, Message: d.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// SuppressCheck is the name of the built-in check that polices the
+// suppression comments themselves.
+const SuppressCheck = "suppress"
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//crowdvet:ignore <check> <reason>
+//
+// A suppression applies to findings of <check> on its own line and on
+// the line immediately after it, covering both end-of-line and
+// standalone-comment placement. The reason is mandatory and is reviewed
+// like code: an ignore without one is a finding, as is an ignore naming
+// an unknown check.
+const ignorePrefix = "//crowdvet:ignore"
+
+// suppression is one parsed ignore comment.
+type suppression struct {
+	pos    token.Pos
+	line   int
+	check  string
+	reason string
+}
+
+var generatedRx = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGenerated reports whether f carries the conventional generated-file
+// marker before its package clause; generated files are skipped
+// entirely (their source of truth is the generator, not the file).
+func isGenerated(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if generatedRx.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every ignore comment in the file,
+// reporting malformed ones (missing reason, unknown check) through
+// report as SuppressCheck findings.
+func collectSuppressions(fset *token.FileSet, f *ast.File, known []string, report func(Diagnostic)) []suppression {
+	var sups []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			// A trailing "// ..." is commentary about the suppression, not
+			// part of the reason (it also lets fixture files annotate a
+			// reasonless ignore with a want-marker).
+			if i := strings.Index(rest, " // "); i >= 0 {
+				rest = rest[:i]
+			}
+			fields := strings.Fields(rest)
+			pos := fset.Position(c.Pos())
+			if len(fields) == 0 {
+				report(Diagnostic{Pos: pos, Check: SuppressCheck, Message: "crowdvet:ignore without a check name"})
+				continue
+			}
+			check := fields[0]
+			if !containsString(known, check) {
+				report(Diagnostic{Pos: pos, Check: SuppressCheck, Message: "crowdvet:ignore of unknown check " + strconv(check)})
+				continue
+			}
+			if len(fields) < 2 {
+				report(Diagnostic{Pos: pos, Check: SuppressCheck,
+					Message: "crowdvet:ignore " + check + " without a reason; justify the suppression or fix the finding"})
+				continue
+			}
+			sups = append(sups, suppression{
+				pos:    c.Pos(),
+				line:   pos.Line,
+				check:  check,
+				reason: strings.Join(fields[1:], " "),
+			})
+		}
+	}
+	return sups
+}
+
+func strconv(s string) string { return "\"" + s + "\"" }
+
+// suppressed reports whether d is covered by a justified suppression: a
+// matching ignore on the finding's line or the line directly above it.
+func suppressed(d Diagnostic, sups []suppression) bool {
+	for _, s := range sups {
+		if s.check != d.Check {
+			continue
+		}
+		if d.Pos.Line == s.line || d.Pos.Line == s.line+1 {
+			return true
+		}
+	}
+	return false
+}

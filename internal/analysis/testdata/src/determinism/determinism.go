@@ -1,0 +1,86 @@
+// Package determinism is an analyzer fixture: each want marker pins one
+// diagnostic the determinism check must produce, and the unmarked
+// functions pin the idioms it must accept.
+package determinism
+
+import (
+	"math/rand" // want "determinism: import of \"math/rand\""
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "determinism: call to time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "determinism: call to time.Since"
+}
+
+func pacer() *time.Ticker {
+	return time.NewTicker(time.Second) // want "determinism: call to time.NewTicker"
+}
+
+// sums: float reduction order over a map changes the bits.
+func sums(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "determinism: float accumulation over map iteration"
+	}
+	return total
+}
+
+// sortedKeys is the ordered-keys idiom: collecting the bare range key
+// into a slice that is sorted afterwards is order-independent.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// collect appends values in visit order — not the idiom.
+func collect(m map[int]string) []string {
+	var vals []string
+	for _, v := range m {
+		vals = append(vals, v) // want "determinism: append to vals inside map iteration"
+	}
+	return vals
+}
+
+// firstKey: which key wins the early exit depends on iteration order.
+func firstKey(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out = k
+		break // want "determinism: break out of map iteration"
+	}
+	return out
+}
+
+// scatter consumes output slots in visit order.
+func scatter(m map[int]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want "determinism: store through outer slice index"
+		i++
+	}
+}
+
+// gather lands each element in a slot determined by its key: fine.
+func gather(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// tally writes through a map key: map writes are order-independent.
+func tally(m map[string]int, counts map[string]int) {
+	for k, v := range m {
+		counts[k] = v
+	}
+}

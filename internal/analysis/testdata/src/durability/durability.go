@@ -1,0 +1,117 @@
+// Package durability is an analyzer fixture for journal-before-ack. It
+// imports the real crowdassess/internal/store so the Append recognizer
+// is exercised against the live storage API, alongside the local
+// journal-method shape the worker uses.
+package durability
+
+import "crowdassess/internal/store"
+
+type batch struct{ data []byte }
+
+const (
+	msgIngest   = 0x01
+	msgIngestOK = 0x02
+)
+
+type wal struct{}
+
+func (w *wal) append(b batch) error { return nil }
+
+type worker struct{ log *wal }
+
+func (w *worker) journal(b batch) error { return w.log.append(b) }
+
+// handleGood is the canonical shape: journal, check, then ack.
+func (w *worker) handleGood(t byte, b batch) (byte, error) {
+	switch t {
+	case msgIngest:
+		if err := w.journal(b); err != nil {
+			return 0, err
+		}
+		return msgIngestOK, nil
+	}
+	return 0, nil
+}
+
+func (w *worker) handleNoJournal(t byte, b batch) (byte, error) {
+	switch t {
+	case msgIngest:
+		return msgIngestOK, nil // want "durability: ingest ack without a journal append"
+	}
+	return 0, nil
+}
+
+func (w *worker) handleUnchecked(t byte, b batch) (byte, error) {
+	switch t {
+	case msgIngest:
+		w.journal(b) // want "durability: journal append error is not checked"
+		return msgIngestOK, nil
+	}
+	return 0, nil
+}
+
+func (w *worker) handleAckFirst(t byte, b batch) (byte, error) {
+	switch t {
+	case msgIngest:
+		if len(b.data) == 0 {
+			return msgIngestOK, nil // want "durability: ingest ack precedes the journal append"
+		}
+		if err := w.journal(b); err != nil {
+			return 0, err
+		}
+		return msgIngestOK, nil
+	}
+	return 0, nil
+}
+
+// handleLaterCheck binds the error first and consults it afterwards:
+// still checked.
+func (w *worker) handleLaterCheck(t byte, b batch) (byte, error) {
+	switch t {
+	case msgIngest:
+		err := w.journal(b)
+		if err != nil {
+			return 0, err
+		}
+		return msgIngestOK, nil
+	}
+	return 0, nil
+}
+
+type sliceWorker struct{ st *store.Store }
+
+// ingestStore journals through the real storage engine's Append.
+func (w *sliceWorker) ingestStore(t byte, rs []store.Response) (byte, error) {
+	if t != msgIngest {
+		return 0, nil
+	}
+	if _, err := w.st.Log.Append(rs); err != nil {
+		return 0, err
+	}
+	return msgIngestOK, nil
+}
+
+// ingestStoreDropped journals but discards the append error: the ack can
+// outrun a failed append.
+func (w *sliceWorker) ingestStoreDropped(t byte, rs []store.Response) (byte, error) {
+	if t != msgIngest {
+		return 0, nil
+	}
+	seq, _ := w.st.Log.Append(rs) // want "durability: journal append error is not checked"
+	_ = seq
+	return msgIngestOK, nil
+}
+
+// forward is the coordinator shape: the ack is a relayed reply from a
+// round-trip that passed msgIngestOK; relaying it without journaling is
+// an ack for a batch nobody persisted.
+func (w *sliceWorker) forward(t byte, rt func(byte, []store.Response) (byte, error), rs []store.Response) (byte, error) {
+	if t != msgIngest {
+		return 0, nil
+	}
+	reply, err := rt(msgIngestOK, rs)
+	if err != nil {
+		return 0, err
+	}
+	return reply, nil // want "durability: ingest ack without a journal append"
+}

@@ -1,0 +1,56 @@
+// Package errclass is an analyzer fixture for the failure-classification
+// check: every package-level error must be reachable from Transient's
+// table (directly or through a helper it calls), and error values must
+// not be dropped into the blank identifier.
+package errclass
+
+import "errors"
+
+// ErrKnown is classified directly in Transient.
+var ErrKnown = errors.New("known")
+
+// ErrHelper is classified in a helper Transient calls: still in the table.
+var ErrHelper = errors.New("helper")
+
+var ErrStray = errors.New("stray") // want "errclass: sentinel error ErrStray is not classified by Transient"
+
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return e.msg }
+
+type codecError struct{ msg string } // want "errclass: error type codecError is not classified by Transient"
+
+func (e *codecError) Error() string { return e.msg }
+
+func Transient(err error) bool {
+	if errors.Is(err, ErrKnown) {
+		return false
+	}
+	var re *remoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return classify(err)
+}
+
+func classify(err error) bool {
+	return err != nil && !errors.Is(err, ErrHelper)
+}
+
+func discard() {
+	_ = errors.New("dropped") // want "errclass: error discarded with _"
+}
+
+func discardTuple(f func() (int, error)) int {
+	n, _ := f() // want "errclass: error discarded with _"
+	return n
+}
+
+// checked is the normal shape: nothing to report.
+func checked(f func() (int, error)) (int, error) {
+	n, err := f()
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

@@ -1,0 +1,9 @@
+package generated
+
+import "errors"
+
+// live proves the rest of the package still runs when a sibling file is
+// generated.
+func live() {
+	_ = errors.New("dropped") // want "errclass: error discarded with _"
+}

@@ -1,0 +1,41 @@
+// Package suppress is an analyzer fixture for the suppression policy:
+// a justified ignore silences its finding; a reasonless or malformed
+// ignore is itself a finding and suppresses nothing.
+package suppress
+
+import "errors"
+
+// justified: the ignore carries a reason, so the errclass finding on
+// this line is silenced and nothing is reported.
+func justified() {
+	_ = errors.New("dropped") //crowdvet:ignore errclass fixture exercises a justified suppression
+}
+
+// justifiedAbove: a standalone ignore covers the line directly below it.
+func justifiedAbove() {
+	//crowdvet:ignore errclass fixture exercises the line-above placement
+	_ = errors.New("dropped")
+}
+
+// missingReason: an ignore without a reason is a suppress finding, and
+// the underlying errclass finding still fires.
+func missingReason() {
+	_ = errors.New("dropped") //crowdvet:ignore errclass // want "suppress: crowdvet:ignore errclass without a reason" "errclass: error discarded with _"
+}
+
+// unknownCheck: naming a check that does not exist is a suppress
+// finding, and suppresses nothing.
+func unknownCheck() {
+	_ = errors.New("dropped") //crowdvet:ignore nosuchcheck typo in the check name // want "suppress: crowdvet:ignore of unknown check" "errclass: error discarded with _"
+}
+
+// noCheckName: an ignore with nothing after it at all.
+func noCheckName() {
+	//crowdvet:ignore // want "suppress: crowdvet:ignore without a check name"
+}
+
+// wrongCheck: a justified ignore of a different check does not cover
+// this finding.
+func wrongCheck() {
+	_ = errors.New("dropped") //crowdvet:ignore determinism wrong check named here // want "errclass: error discarded with _"
+}

@@ -258,10 +258,16 @@ func TestChaosKillMidIngestAutoReseed(t *testing.T) {
 	batchAll(half, len(subs))
 
 	// The monitor must walk the slot down and reseed it from the sibling.
+	// Wait on the event log, not just Membership(): the monitor publishes
+	// the alive/reseed-count state before its OnEvent callback runs, so
+	// polling membership alone can observe the reseed a beat before the
+	// event lands. The monitor goroutine emits down before reseed, so
+	// seeing the reseed event guarantees the down event is logged too.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		view := coord.Membership()
-		if view[0].State == "alive" && view[0].Reseeds >= 1 {
+		if view[0].State == "alive" && view[0].Reseeds >= 1 &&
+			strings.Contains(strings.Join(eventLog(), "\n"), "reseed slice=0 replica=0") {
 			break
 		}
 		if time.Now().After(deadline) {

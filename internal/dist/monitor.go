@@ -328,12 +328,22 @@ func (m *Monitor) reseedSlot(si int, dial func() (*Conn, error)) error {
 	// the data was ingested, or before any fan-out was journaled): it
 	// would rebuild the slice empty, so a configured checkpoint directory
 	// — which may hold a valid legacy snapshot — takes over instead.
-	if st := m.c.sliceStore(si); st != nil && (m.opts.CheckpointDir == "" || !st.Empty()) {
-		conn, rerr := dial()
-		if rerr != nil {
-			return errors.Join(err, rerr)
+	if st := m.c.sliceStore(si); st != nil {
+		useStore := true
+		if m.opts.CheckpointDir != "" {
+			empty, eerr := st.Empty()
+			// An unlistable snapshot store is not "empty": recovering from
+			// the store surfaces the fault loudly instead of silently
+			// preferring an older legacy checkpoint over unknown state.
+			useStore = eerr != nil || !empty
 		}
-		return m.c.RestoreNodeFromStore(si, conn)
+		if useStore {
+			conn, rerr := dial()
+			if rerr != nil {
+				return errors.Join(err, rerr)
+			}
+			return m.c.RestoreNodeFromStore(si, conn)
+		}
 	}
 	if m.opts.CheckpointDir == "" {
 		return err

@@ -144,6 +144,12 @@ func Transient(err error) bool {
 	if isRemote(err) || errors.Is(err, ErrDivergence) || errors.Is(err, ErrCodec) || errors.Is(err, errFrameTooBig) {
 		return false
 	}
+	// ErrNoReplica means the slice lost every replica: a retry cannot
+	// conjure one — recovery is the monitor's reseed (or a degraded read),
+	// not the RPC layer's.
+	if errors.Is(err, ErrNoReplica) {
+		return false
+	}
 	if errors.Is(err, os.ErrDeadlineExceeded) ||
 		errors.Is(err, io.EOF) ||
 		errors.Is(err, io.ErrUnexpectedEOF) ||
