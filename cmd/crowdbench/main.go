@@ -8,6 +8,7 @@
 //	crowdbench -experiment all  -replicates 20 -parallel -benchjson BENCH_1.json
 //	crowdbench -ingest 1,2,4,8 -ingest-goroutines 8 -benchjson BENCH_3.json
 //	crowdbench -dist 1,2,4 -benchjson BENCH_4.json
+//	crowdbench -latency -benchjson BENCH_5.json
 //	crowdbench -list
 //
 // -parallel fans replicates out over every CPU; the per-replicate seeding
@@ -22,6 +23,14 @@
 // shard count — the sharded evaluator's scaling claim) plus the merge +
 // EvaluateAll time that follows. The same submissions go to every shard
 // count, so the numbers are comparable within a run.
+//
+// -latency switches to the closed-loop serving-latency benchmark: the
+// submission stream goes through an in-process one-node cluster in
+// concurrent batches, and every coordinator ingest round trip plus a
+// series of full EvaluateAll rounds is timed into internal/obs
+// fixed-bucket histograms. The record carries p50/p95/p99 — the
+// serving-layer latency baseline the ROADMAP asks for, in the same
+// estimator a live crowdd exports on /metrics.
 //
 // -dist switches to the distributed-cluster benchmark: for each listed
 // node count it spins up that many in-process dist workers, routes the
@@ -56,6 +65,7 @@ import (
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/dist"
 	"crowdassess/internal/eval"
+	"crowdassess/internal/obs"
 	"crowdassess/internal/randx"
 	"crowdassess/internal/report"
 	"crowdassess/internal/sim"
@@ -83,6 +93,13 @@ type benchRecord struct {
 
 	// Distributed-cluster fields (-dist).
 	Nodes int `json:"nodes,omitempty"`
+
+	// Closed-loop latency fields (-latency): per-request quantiles
+	// estimated from internal/obs fixed-bucket histograms.
+	Samples int     `json:"samples,omitempty"`
+	P50     float64 `json:"p50_seconds,omitempty"`
+	P95     float64 `json:"p95_seconds,omitempty"`
+	P99     float64 `json:"p99_seconds,omitempty"`
 }
 
 // validateCounts rejects nonsensical count flags up front, naming the
@@ -127,6 +144,8 @@ func main() {
 
 		distNodes  = flag.String("dist", "", "run the distributed-cluster benchmark over these comma-separated node counts (e.g. 1,2,4)")
 		distShards = flag.Int("dist-shards", 2, "distributed benchmark: task-stripe shards per node")
+
+		latency = flag.Bool("latency", false, "run the closed-loop serving-latency benchmark: per-request ingest and evaluate quantiles (p50/p95/p99) against an in-process cluster")
 	)
 	flag.Parse()
 
@@ -142,16 +161,24 @@ func main() {
 		}
 		return
 	}
-	if *ingest != "" && *distNodes != "" {
-		fmt.Fprintln(os.Stderr, "crowdbench: -ingest and -dist are separate benchmarks; run them one at a time")
+	modes := 0
+	for _, on := range []bool{*ingest != "", *distNodes != "", *latency} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "crowdbench: -ingest, -dist and -latency are separate benchmarks; run them one at a time")
 		os.Exit(2)
 	}
-	if *ingest != "" || *distNodes != "" {
+	if modes == 1 {
 		var records []benchRecord
 		var err error
 		switch {
 		case *ingest != "":
 			records, err = runIngest(*ingest, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
+		case *latency:
+			records, err = runLatency(*distShards, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
 		default:
 			records, err = runDist(*distNodes, *distShards, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
 		}
@@ -485,6 +512,128 @@ func runDist(nodeList string, shardsPerNode, workers, tasks, goroutines int, see
 			})
 	}
 	return records, nil
+}
+
+// latencyEvalRounds is how many EvaluateAll rounds the -latency benchmark
+// times once the stream is ingested: enough samples for a stable p99 of
+// the merged-solve path without dominating the run.
+const latencyEvalRounds = 32
+
+// runLatency is the closed-loop serving-latency benchmark the ROADMAP's
+// serving-layer item asks for: it streams the synthetic submission stream
+// through an in-process one-node cluster in concurrent batches, timing
+// every coordinator Ingest round trip, then times latencyEvalRounds full
+// EvaluateAll rounds — both into internal/obs fixed-bucket histograms, the
+// same estimator a live crowdd exports on /metrics, so the committed
+// quantiles and the scraped ones are directly comparable.
+func runLatency(shardsPerNode, workers, tasks, goroutines int, seed int64, quiet bool) ([]benchRecord, error) {
+	goroutines = benchGoroutines(goroutines)
+	subs, err := genSubmissions(workers, tasks, seed)
+	if err != nil {
+		return nil, err
+	}
+	node, err := dist.NewWorker(dist.WorkerOptions{Workers: workers, Shards: shardsPerNode})
+	if err != nil {
+		return nil, err
+	}
+	conn, err := node.SelfConn()
+	if err != nil {
+		return nil, err
+	}
+	coord, err := dist.NewCoordinator(workers, []*dist.Conn{conn})
+	if err != nil {
+		return nil, err
+	}
+
+	ingestHist := obs.NewHistogram(nil)
+	evalHist := obs.NewHistogram(nil)
+
+	const batchSize = 256
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var batch []dist.Response
+			flush := func() {
+				if len(batch) > 0 && errs[g] == nil {
+					t0 := time.Now()
+					errs[g] = coord.Ingest(batch)
+					ingestHist.Observe(time.Since(t0).Seconds())
+					batch = batch[:0]
+				}
+			}
+			for i := g; i < len(subs); i += goroutines {
+				s := subs[i]
+				batch = append(batch, dist.Response{Worker: s.w, Task: s.t, Answer: s.r})
+				if len(batch) >= batchSize {
+					flush()
+				}
+			}
+			flush()
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	evalStart := time.Now()
+	for i := 0; i < latencyEvalRounds; i++ {
+		t0 := time.Now()
+		if _, err := coord.EvaluateAll(core.EvalOptions{Confidence: 0.9}); err != nil {
+			return nil, err
+		}
+		evalHist.Observe(time.Since(t0).Seconds())
+	}
+	evalElapsed := time.Since(evalStart)
+
+	if err := coord.Close(); err != nil {
+		return nil, err
+	}
+	if err := node.Close(); err != nil {
+		return nil, err
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "crowdbench: latency ingest: %d batches p50=%.4fs p95=%.4fs p99=%.4fs; evaluate: %d rounds p50=%.4fs p99=%.4fs\n",
+			ingestHist.Count(), ingestHist.Quantile(0.5), ingestHist.Quantile(0.95), ingestHist.Quantile(0.99),
+			evalHist.Count(), evalHist.Quantile(0.5), evalHist.Quantile(0.99))
+	}
+	return []benchRecord{
+		{
+			Experiment: "latency/ingest",
+			Seconds:    elapsed.Seconds(),
+			Seed:       seed,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Shards:     shardsPerNode,
+			Goroutines: goroutines,
+			Responses:  len(subs),
+			OpsPerSec:  float64(len(subs)) / elapsed.Seconds(),
+			Samples:    int(ingestHist.Count()),
+			P50:        ingestHist.Quantile(0.5),
+			P95:        ingestHist.Quantile(0.95),
+			P99:        ingestHist.Quantile(0.99),
+		},
+		{
+			Experiment: "latency/evaluate",
+			Seconds:    evalElapsed.Seconds(),
+			Seed:       seed,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Shards:     shardsPerNode,
+			Responses:  len(subs),
+			OpsPerSec:  float64(latencyEvalRounds) / evalElapsed.Seconds(),
+			Samples:    int(evalHist.Count()),
+			P50:        evalHist.Quantile(0.5),
+			P95:        evalHist.Quantile(0.95),
+			P99:        evalHist.Quantile(0.99),
+		},
+	}, nil
 }
 
 // writeBenchJSON records the timing trajectory for tooling. The write is

@@ -23,6 +23,8 @@ import (
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/dist"
+	"crowdassess/internal/obs"
+	"crowdassess/internal/pool"
 	"crowdassess/internal/store"
 )
 
@@ -103,28 +105,37 @@ type ingestRec struct {
 	Answer int `json:"answer"`
 }
 
+// decisionView is one pool lifecycle decision as POST /review renders it.
+type decisionView struct {
+	Worker     int     `json:"worker"`
+	Action     string  `json:"action"`
+	State      string  `json:"state"`
+	IntervalLo float64 `json:"interval_lo"`
+	IntervalHi float64 `json:"interval_hi"`
+	Reason     string  `json:"reason"`
+}
+
 // newCoordinatorMux builds the coordinator head's HTTP surface:
 //
 //	GET  /healthz  — "ok" while every slice serves live, "degraded" when
-//	                 any slice is on cached statistics
+//	                 any slice is on cached statistics; includes uptime_s
 //	GET  /statsz   — cluster shape, response totals, per-replica
 //	                 membership (state, heartbeat age, reseed count)
-//	POST /ingest   — JSON array of {worker, task, answer}
+//	GET  /metrics  — the registry in Prometheus text format
+//	POST /ingest   — JSON array of {worker, task, answer}; responses from
+//	                 fired workers are rejected, not forwarded
+//	POST /review   — run one pool lifecycle review over the cluster's
+//	                 merged statistics and return the decisions
 //	GET  /evaluate — merged intervals; ?confidence=0.9
-func newCoordinatorMux(coord *dist.Coordinator) *http.ServeMux {
+//
+// Ingestion routes through a pool.Manager over the cluster evaluator, so
+// the coordinator applies the paper's hiring lifecycle (probation →
+// active → fired) to the crowd it fronts; /review is how an operator (or
+// a cron) turns accumulated evidence into decisions.
+func newCoordinatorMux(coord *dist.Coordinator, mgr *pool.Manager, ce *dist.ClusterEvaluator, reg *obs.Registry, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		degraded := coord.Degraded()
-		status := "ok"
-		if len(degraded) > 0 {
-			status = "degraded"
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"status":          status,
-			"degraded_slices": degraded,
-		})
-	})
+	mux.HandleFunc("/healthz", healthzHandler(reg, coord.Degraded))
+	attachObs(mux, reg, pprofOn)
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		tasks, _ := coord.Tasks()
 		responses, _ := coord.Responses()
@@ -137,6 +148,7 @@ func newCoordinatorMux(coord *dist.Coordinator) *http.ServeMux {
 			"responses":       responses,
 			"degraded_slices": coord.Degraded(),
 			"membership":      membershipView(coord, time.Now()),
+			"uptime_s":        reg.Uptime().Seconds(),
 		})
 	})
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
@@ -149,11 +161,23 @@ func newCoordinatorMux(coord *dist.Coordinator) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		batch := make([]dist.Response, len(recs))
-		for i, rec := range recs {
-			batch[i] = dist.Response{Worker: rec.Worker, Task: rec.Task, Answer: crowd.Response(rec.Answer)}
+		// Records go through the pool manager so fired workers are turned
+		// away at the door; the adapter batches them into cluster ingest
+		// frames, and the explicit flush below both surfaces remote
+		// rejections on this request and makes the batch visible to the
+		// /statsz and /evaluate that follow the ack.
+		rejected := 0
+		for _, rec := range recs {
+			err := mgr.Record(rec.Worker, rec.Task, crowd.Response(rec.Answer))
+			switch {
+			case errors.Is(err, pool.ErrFired):
+				rejected++
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
 		}
-		if err := coord.Ingest(batch); err != nil {
+		if err := ce.Flush(); err != nil {
 			status := http.StatusBadGateway
 			var re *dist.RemoteError
 			if errors.As(err, &re) {
@@ -163,7 +187,27 @@ func newCoordinatorMux(coord *dist.Coordinator) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]int{"ingested": len(batch)})
+		json.NewEncoder(w).Encode(map[string]int{"ingested": len(recs) - rejected, "rejected": rejected})
+	})
+	mux.HandleFunc("/review", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		decisions, err := mgr.Review()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		views := make([]decisionView, len(decisions))
+		for i, d := range decisions {
+			views[i] = decisionView{
+				Worker: d.Worker, Action: d.Action.String(), State: d.State.String(),
+				IntervalLo: d.Interval.Lo, IntervalHi: d.Interval.Hi, Reason: d.Reason,
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"decisions": views})
 	})
 	mux.HandleFunc("/evaluate", func(w http.ResponseWriter, r *http.Request) {
 		confidence := 0.95
@@ -193,7 +237,7 @@ func newCoordinatorMux(coord *dist.Coordinator) *http.ServeMux {
 // runCoordinator is coordinator-mode main: dial the cluster, start the
 // self-healing monitor, serve the HTTP head, checkpoint periodically, and
 // drain on signal.
-func runCoordinator(spec string, workers int, health string, policy dist.Policy, mon dist.MonitorOptions, cfg storageConfig, done <-chan struct{}) error {
+func runCoordinator(spec string, workers int, health string, policy dist.Policy, mon dist.MonitorOptions, cfg storageConfig, pprofOn bool, done <-chan struct{}) error {
 	if workers == 0 {
 		return fmt.Errorf("-workers is required")
 	}
@@ -209,13 +253,24 @@ func runCoordinator(spec string, workers int, health string, policy dist.Policy,
 		return err
 	}
 	defer coord.Close()
+	reg := newRegistry()
+	coord.Instrument(reg)
+	// The pool manager fronts the cluster with the paper's hiring
+	// lifecycle: /ingest routes through it (fired workers are rejected)
+	// and /review turns accumulated evidence into decisions.
+	ce := dist.NewClusterEvaluator(coord, 0)
+	mgr, err := pool.NewManagerWith(ce, pool.DefaultPolicy())
+	if err != nil {
+		return err
+	}
+	mgr.Instrument(reg)
 	// WAL mode: one store per task slice. Every acked fan-out is journaled,
 	// the periodic checkpoint is an O(delta) compact snapshot plus journal
 	// truncate, and the monitor's reseed rebuilds a fully-dead slice from
 	// its store (zero acked loss) instead of a stale CCKP file.
 	var sliceStores []*store.Store
 	if cfg.wal != "" {
-		sliceStores, err = openSliceStores(cfg.wal, coord.Slices(), cfg.fsync)
+		sliceStores, err = openSliceStores(cfg.wal, coord.Slices(), cfg.fsync, reg)
 		if err != nil {
 			return err
 		}
@@ -226,10 +281,10 @@ func runCoordinator(spec string, workers int, health string, policy dist.Policy,
 		fmt.Fprintf(os.Stderr, "crowdd: journaling %d slices under %s\n", coord.Slices(), cfg.wal)
 	}
 	mon.CheckpointDir = cfg.ckpt
-	mon.OnEvent = func(e dist.Event) {
+	mon.OnEvent = dist.ChainEvents(dist.EventMetrics(reg), func(e dist.Event) {
 		fmt.Fprintf(os.Stderr, "crowdd: cluster: %s\n", e)
-	}
-	coord.StartMonitor(mon)
+	})
+	coord.StartMonitor(mon).Instrument(reg)
 	fmt.Fprintf(os.Stderr, "crowdd: coordinating %d slices × %d nodes for a %d-worker crowd\n",
 		coord.Slices(), coord.Nodes(), workers)
 
@@ -266,7 +321,7 @@ func runCoordinator(spec string, workers int, health string, policy dist.Policy,
 		close(tickerDone)
 	}
 
-	srv := &http.Server{Addr: health, Handler: newCoordinatorMux(coord)}
+	srv := &http.Server{Addr: health, Handler: obs.HTTPMiddleware(newCoordinatorMux(coord, mgr, ce, reg, pprofOn), headLogger(), reg, "coord")}
 	serveErr := make(chan error, 1)
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

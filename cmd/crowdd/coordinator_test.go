@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"crowdassess/internal/dist"
+	"crowdassess/internal/pool"
 )
 
 func TestParseGroups(t *testing.T) {
@@ -71,7 +74,15 @@ func TestCoordinatorMux(t *testing.T) {
 	}
 	defer coord.Close()
 
-	srv := httptest.NewServer(newCoordinatorMux(coord))
+	reg := newRegistry()
+	coord.Instrument(reg)
+	ce := dist.NewClusterEvaluator(coord, 0)
+	mgr, err := pool.NewManagerWith(ce, pool.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.Instrument(reg)
+	srv := httptest.NewServer(newCoordinatorMux(coord, mgr, ce, reg, false))
 	defer srv.Close()
 
 	var recs []ingestRec
@@ -150,6 +161,33 @@ func TestCoordinatorMux(t *testing.T) {
 		t.Fatalf("/healthz status %q, want ok", hz.Status)
 	}
 
+	// The same mux serves the Prometheus exposition, and the traffic above
+	// must already have left its mark: RPC latency samples from the ingest
+	// fan-out and a state gauge per replica slot.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text exposition", ct)
+	}
+	for _, want := range []string{
+		`dist_rpc_seconds_count{msg="ingest"}`,
+		`monitor_replica_state{replica="0",slice="0"}`,
+		`monitor_replica_state{replica="1",slice="0"}`,
+		`pool_workers{state="probation"}`,
+		"process_uptime_seconds",
+	} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+
 	resp, err = http.Get(srv.URL + "/evaluate?confidence=0.9")
 	if err != nil {
 		t.Fatal(err)
@@ -165,6 +203,27 @@ func TestCoordinatorMux(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || eval.Confidence != 0.9 || eval.Stale || len(eval.Estimates) != crowdSize {
 		t.Fatalf("/evaluate: status %d %+v, want 200, confidence 0.9, fresh, %d estimates", resp.StatusCode, eval, crowdSize)
+	}
+
+	// One lifecycle review over the merged statistics: every worker has 30
+	// responses (past MinResponses), so every one gets a decision, and the
+	// review shows up in the pool counters.
+	resp, err = http.Post(srv.URL+"/review", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var review struct {
+		Decisions []decisionView `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&review); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(review.Decisions) != crowdSize {
+		t.Fatalf("/review: status %d, %d decisions, want 200 with %d", resp.StatusCode, len(review.Decisions), crowdSize)
+	}
+	if v, ok := reg.CounterValue("pool_reviews_total"); !ok || v != 1 {
+		t.Errorf("pool_reviews_total = %d (ok=%v), want 1", v, ok)
 	}
 }
 
@@ -188,7 +247,7 @@ func TestRunCoordinatorLifecycle(t *testing.T) {
 	runErr := make(chan error, 1)
 	go func() {
 		runErr <- runCoordinator(addr, crowdSize, healthAddr, dist.DefaultPolicy(),
-			dist.MonitorOptions{Interval: 50 * time.Millisecond}, storageConfig{ckpt: ckptDir}, done)
+			dist.MonitorOptions{Interval: 50 * time.Millisecond}, storageConfig{ckpt: ckptDir}, false, done)
 	}()
 
 	deadline := time.Now().Add(10 * time.Second)
@@ -216,13 +275,13 @@ func TestRunCoordinatorLifecycle(t *testing.T) {
 }
 
 func TestRunCoordinatorRejectsBadFlags(t *testing.T) {
-	if err := runCoordinator("a", 0, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, nil); err == nil {
+	if err := runCoordinator("a", 0, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, false, nil); err == nil {
 		t.Fatal("missing -workers accepted")
 	}
-	if err := runCoordinator("a", 5, "", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, nil); err == nil {
+	if err := runCoordinator("a", 5, "", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, false, nil); err == nil {
 		t.Fatal("missing -health accepted")
 	}
-	if err := runCoordinator("", 5, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, nil); err == nil {
+	if err := runCoordinator("", 5, ":0", dist.DefaultPolicy(), dist.MonitorOptions{}, storageConfig{}, false, nil); err == nil {
 		t.Fatal("empty -coordinate spec accepted")
 	}
 }

@@ -46,11 +46,17 @@
 // side, and the monitor's auto-reseed rebuilds a fully-dead slice from its
 // slice store instead of a legacy checkpoint.
 //
-// With -health, the daemon serves:
+// With -health, the daemon serves (both modes):
 //
-//	GET /healthz — 200 and {"status":"ok"} while serving
+//	GET /healthz — 200 and {"status":"ok"|"degraded","uptime_s":...}
 //	GET /statsz  — crowd size, shard count, tasks and responses ingested,
 //	               live coordinator connections, uptime
+//	GET /metrics — the full metrics registry in Prometheus text format:
+//	               RPC and WAL latency histograms, membership gauges,
+//	               ingest counters
+//
+// and, with -pprof, the net/http/pprof profiling handlers under
+// /debug/pprof/ on the same address.
 //
 // On SIGINT/SIGTERM the daemon stops accepting, closes coordinator
 // connections after their in-flight request finishes, writes the final
@@ -73,6 +79,7 @@ import (
 	"time"
 
 	"crowdassess/internal/dist"
+	"crowdassess/internal/obs"
 )
 
 func main() {
@@ -90,6 +97,7 @@ func main() {
 		coordinate = flag.String("coordinate", "", `run as cluster head over these replica groups ("a,b;c,d": ';' separates task slices, ',' a slice's replicas)`)
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC stall budget: mid-frame deadline as a worker, cluster RPC timeout as a coordinator (0 = defaults)")
 		hbInterval = flag.Duration("heartbeat-interval", dist.DefaultHeartbeatInterval, "coordinator heartbeat probe interval (-coordinate mode)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/ on the -health address")
 	)
 	flag.Parse()
 	err := validateTimeouts(*rpcTimeout, *hbInterval)
@@ -99,9 +107,9 @@ func main() {
 	}
 	if err == nil {
 		if *coordinate != "" {
-			err = coordinatorMain(*coordinate, *nwork, *health, *rpcTimeout, *hbInterval, cfg)
+			err = coordinatorMain(*coordinate, *nwork, *health, *rpcTimeout, *hbInterval, cfg, *pprofOn)
 		} else {
-			err = run(*listen, *nwork, *shards, *health, cfg, *rpcTimeout)
+			err = run(*listen, *nwork, *shards, *health, cfg, *rpcTimeout, *pprofOn)
 		}
 	}
 	if err != nil {
@@ -127,14 +135,14 @@ func validateTimeouts(rpcTimeout, hbInterval time.Duration) error {
 // coordinatorMain maps the flag surface onto runCoordinator: -rpc-timeout
 // bounds every cluster RPC, -heartbeat-interval paces the failure
 // detector, and SIGINT/SIGTERM drive the graceful drain.
-func coordinatorMain(spec string, workers int, health string, rpcTimeout, hbInterval time.Duration, cfg storageConfig) error {
+func coordinatorMain(spec string, workers int, health string, rpcTimeout, hbInterval time.Duration, cfg storageConfig, pprofOn bool) error {
 	policy := dist.DefaultPolicy()
 	if rpcTimeout > 0 {
 		policy.RPCTimeout = rpcTimeout
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return runCoordinator(spec, workers, health, policy, dist.MonitorOptions{Interval: hbInterval}, cfg, ctx.Done())
+	return runCoordinator(spec, workers, health, policy, dist.MonitorOptions{Interval: hbInterval}, cfg, pprofOn, ctx.Done())
 }
 
 // loadCheckpoint restores the worker from a snapshot file. A missing file
@@ -160,11 +168,12 @@ func saveCheckpoint(worker *dist.Worker, path string) error {
 	return dist.WriteSnapshot(path, worker.Snapshot())
 }
 
-func run(listen string, workers, shards int, health string, cfg storageConfig, rpcTimeout time.Duration) error {
+func run(listen string, workers, shards int, health string, cfg storageConfig, rpcTimeout time.Duration, pprofOn bool) error {
 	if workers == 0 {
 		return fmt.Errorf("-workers is required")
 	}
-	st, err := cfg.openWorkerStore()
+	reg := newRegistry()
+	st, err := cfg.openWorkerStore(reg)
 	if err != nil {
 		return err
 	}
@@ -175,6 +184,7 @@ func run(listen string, workers, shards int, health string, cfg storageConfig, r
 	if err != nil {
 		return err
 	}
+	worker.Instrument(reg)
 	if st != nil {
 		recovered, err := recoverWorker(worker, st, cfg)
 		if err != nil {
@@ -203,15 +213,23 @@ func run(listen string, workers, shards int, health string, cfg storageConfig, r
 	var healthSrv *http.Server
 	if health != "" {
 		mux := http.NewServeMux()
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
-		})
+		mux.HandleFunc("/healthz", healthzHandler(reg, nil))
+		// /statsz reads the same gauges /metrics scrapes — one source of
+		// truth — rather than a hand-rolled stats struct.
 		mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+			gauge := func(name string) float64 { v, _ := reg.GaugeValue(name); return v }
 			w.Header().Set("Content-Type", "application/json")
-			json.NewEncoder(w).Encode(worker.Stats())
+			json.NewEncoder(w).Encode(map[string]any{
+				"workers":     workers,
+				"shards":      int(gauge("worker_shards")),
+				"tasks":       int(gauge("worker_tasks")),
+				"responses":   int(gauge("worker_responses")),
+				"connections": int(gauge("worker_connections")),
+				"uptime_s":    reg.Uptime().Seconds(),
+			})
 		})
-		healthSrv = &http.Server{Addr: health, Handler: mux}
+		attachObs(mux, reg, pprofOn)
+		healthSrv = &http.Server{Addr: health, Handler: obs.HTTPMiddleware(mux, headLogger(), reg, listen)}
 		go func() {
 			if err := healthSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "crowdd: health endpoint: %v\n", err)

@@ -176,7 +176,7 @@ func TestWALLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := cfg.openWorkerStore()
+	st, err := cfg.openWorkerStore(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +211,7 @@ func TestWALLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st2, err := cfg.openWorkerStore()
+	st2, err := cfg.openWorkerStore(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestMigrateCheckpointSeedsWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := cfg.openWorkerStore()
+	st, err := cfg.openWorkerStore(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +280,7 @@ func TestMigrateCheckpointSeedsWAL(t *testing.T) {
 
 	// The store now carries the state: a migration-free restart recovers it,
 	// and a second migration attempt is refused.
-	st2, err := cfg.openWorkerStore()
+	st2, err := cfg.openWorkerStore(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+// The observability head: the daemon-side half of internal/obs. Both
+// modes share one metrics registry, serve it as GET /metrics on the
+// -health mux in Prometheus text format, answer /healthz with the same
+// unified body, and — with -pprof — expose the net/http/pprof profiling
+// handlers under /debug/pprof/ on that same mux.
+package main
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"crowdassess/internal/obs"
+)
+
+// newRegistry builds the daemon's metrics registry on the system clock
+// and exports process uptime. Every component (worker or coordinator,
+// stores, monitor, HTTP head) instruments itself against this one
+// registry, so /metrics is the whole daemon on one page.
+func newRegistry() *obs.Registry {
+	reg := obs.NewRegistry(nil)
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the daemon came up.",
+		func() float64 { return reg.Uptime().Seconds() })
+	return reg
+}
+
+// headLogger is the structured access/event logger both modes share.
+func headLogger() *slog.Logger {
+	return obs.NewLogger(os.Stderr, "crowdd", slog.LevelInfo)
+}
+
+// healthzHandler serves the health body both modes agree on:
+//
+//	{"status":"ok"|"degraded","uptime_s":...}
+//
+// degraded is nil in worker mode (a worker that answers at all is ok);
+// the coordinator passes Degraded, which also keeps its original
+// degraded_slices field in the body.
+func healthzHandler(reg *obs.Registry, degraded func() []int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"status":   "ok",
+			"uptime_s": reg.Uptime().Seconds(),
+		}
+		if degraded != nil {
+			d := degraded()
+			if len(d) > 0 {
+				body["status"] = "degraded"
+			} else {
+				d = []int{}
+			}
+			body["degraded_slices"] = d
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(body)
+	}
+}
+
+// attachObs mounts the observability surface on the health mux: GET
+// /metrics in Prometheus text exposition format and, when pprofOn, the
+// pprof handlers. They are mounted explicitly rather than by serving
+// http.DefaultServeMux (which the net/http/pprof import populates as a
+// side effect), so profiling is reachable only when -pprof asked for it.
+func attachObs(mux *http.ServeMux, reg *obs.Registry, pprofOn bool) {
+	mux.Handle("/metrics", reg)
+	if !pprofOn {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

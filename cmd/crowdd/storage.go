@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"crowdassess/internal/dist"
+	"crowdassess/internal/obs"
 	"crowdassess/internal/store"
 )
 
@@ -64,12 +65,13 @@ func validateStorage(ckpt string, ckptEvery time.Duration, wal, fsyncSpec string
 }
 
 // openWorkerStore opens the worker's WAL engine, or returns nil when the
-// daemon runs without one.
-func (cfg storageConfig) openWorkerStore() (*store.Store, error) {
+// daemon runs without one. A non-nil reg instruments the store's append,
+// fsync and snapshot paths.
+func (cfg storageConfig) openWorkerStore(reg *obs.Registry) (*store.Store, error) {
 	if cfg.wal == "" {
 		return nil, nil
 	}
-	st, err := store.Open(store.OSFS{}, cfg.wal, store.Options{Fsync: cfg.fsync})
+	st, err := store.Open(store.OSFS{}, cfg.wal, store.Options{Fsync: cfg.fsync, Obs: reg})
 	if err != nil {
 		return nil, fmt.Errorf("opening WAL store %s: %w", cfg.wal, err)
 	}
@@ -110,7 +112,7 @@ func recoverWorker(worker *dist.Worker, st *store.Store, cfg storageConfig) (int
 // openSliceStores opens (or creates) one WAL engine per task slice under
 // wal/slice-NNN for coordinator mode. On any failure the already-open
 // stores are closed.
-func openSliceStores(wal string, slices int, fsync store.FsyncPolicy) ([]*store.Store, error) {
+func openSliceStores(wal string, slices int, fsync store.FsyncPolicy, reg *obs.Registry) ([]*store.Store, error) {
 	stores := make([]*store.Store, slices)
 	for si := range stores {
 		dir := filepath.Join(wal, fmt.Sprintf("slice-%03d", si))
@@ -118,7 +120,7 @@ func openSliceStores(wal string, slices int, fsync store.FsyncPolicy) ([]*store.
 			closeStores(stores)
 			return nil, err
 		}
-		st, err := store.Open(store.OSFS{}, dir, store.Options{Fsync: fsync})
+		st, err := store.Open(store.OSFS{}, dir, store.Options{Fsync: fsync, Obs: reg})
 		if err != nil {
 			closeStores(stores)
 			return nil, fmt.Errorf("opening slice %d WAL store %s: %w", si, dir, err)

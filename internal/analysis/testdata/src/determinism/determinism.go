@@ -23,6 +23,19 @@ func pacer() *time.Ticker {
 	return time.NewTicker(time.Second) // want "determinism: call to time.NewTicker"
 }
 
+// observe mimics an obs-style measurement helper: routing the sample
+// through a callback does not launder the clock, because the time.Now
+// call site still lives in the scanned package.
+func observe(record func(time.Time)) {
+	record(time.Now()) // want "determinism: call to time.Now"
+}
+
+// latencyInto smuggles wall-clock bits into a decision variable through
+// the helper above; the diagnostic lands on observe's call site.
+func latencyInto(dst *float64) {
+	observe(func(t time.Time) { *dst = float64(t.UnixNano()) })
+}
+
 // sums: float reduction order over a map changes the bits.
 func sums(m map[string]float64) float64 {
 	var total float64

@@ -9,6 +9,7 @@ import (
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/eval"
+	"crowdassess/internal/obs"
 )
 
 // Response is one crowd submission routed through the coordinator: crowd
@@ -49,6 +50,14 @@ type Coordinator struct {
 
 	monitorMu sync.Mutex
 	monitor   *Monitor
+
+	// Observability wiring, installed by Instrument (metrics.go); all nil
+	// until then. obsMu guards the trio so a concurrent Instrument never
+	// hands a retry loop a half-set observer.
+	obsMu  sync.Mutex
+	obsReg *obs.Registry
+	obsFn  RPCObserver
+	obsNow func() time.Time
 }
 
 // ReplicaSpec describes one replica slot of a task slice for NewCluster:
@@ -203,7 +212,9 @@ func (c *Coordinator) call(n *node, msgType byte, body []byte, wantReply byte) (
 	for attempt := 0; attempt < c.policy.Retries; attempt++ {
 		if d := c.policy.backoff(attempt, n.id); d > 0 {
 			time.Sleep(d)
+			c.noteBackoff(d)
 		}
+		c.noteRetry(msgType)
 		if rerr := c.redial(n); rerr != nil {
 			// The slot is unreachable, not just flaky; further attempts
 			// would re-dial the same dead address. Hand recovery to the
@@ -233,6 +244,7 @@ func (c *Coordinator) redial(n *node) error {
 		return err
 	}
 	conn.SetTimeout(c.policy.RPCTimeout)
+	c.instrumentConn(conn)
 	fresh, err := handshake(c.workers, conn)
 	if err != nil {
 		conn.Close()
@@ -242,6 +254,7 @@ func (c *Coordinator) redial(n *node) error {
 	if n.instance != 0 && fresh.instance != 0 && fresh.instance != n.instance {
 		n.mu.Unlock()
 		conn.Close()
+		c.noteIncarnationRefusal()
 		return fmt.Errorf("dist: reconnect reached a restarted node (incarnation %x, had %x): state lost, slot needs reseed", fresh.instance, n.instance)
 	}
 	old := n.conn

@@ -138,6 +138,7 @@ func (c *Coordinator) RestoreNodeFromStore(si int, conn *Conn) error {
 		return fmt.Errorf("dist: slice %d out of range 0…%d", si, len(c.slices)-1)
 	}
 	conn.SetTimeout(c.policy.RPCTimeout)
+	c.instrumentConn(conn)
 	n, err := handshake(c.workers, conn)
 	if err != nil {
 		conn.Close()

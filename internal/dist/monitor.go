@@ -4,8 +4,48 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// eventQueue decouples an event producer from its sink: emit never
+// blocks (full queue = counted drop), a dedicated dispatcher goroutine
+// delivers in order, and drain flushes whatever was queued before
+// returning. It exists so the monitor's probe scheduling can never be
+// delayed by a slow OnEvent sink (a file write, a metrics push).
+type eventQueue struct {
+	ch        chan Event
+	dropped   atomic.Uint64
+	drainOnce sync.Once
+	done      chan struct{}
+}
+
+func newEventQueue(sink func(Event), buf int) *eventQueue {
+	q := &eventQueue{ch: make(chan Event, buf), done: make(chan struct{})}
+	go func() {
+		defer close(q.done)
+		for e := range q.ch {
+			sink(e)
+		}
+	}()
+	return q
+}
+
+// emit enqueues e without blocking; a full queue drops it and counts.
+func (q *eventQueue) emit(e Event) {
+	select {
+	case q.ch <- e:
+	default:
+		q.dropped.Add(1)
+	}
+}
+
+// drain stops the queue and waits for every already-queued event to be
+// delivered. The producer must have stopped emitting. Idempotent.
+func (q *eventQueue) drain() {
+	q.drainOnce.Do(func() { close(q.ch) })
+	<-q.done
+}
 
 // MonitorOptions tunes the heartbeat failure detector and the self-healing
 // reseed loop.
@@ -32,10 +72,22 @@ type MonitorOptions struct {
 	// survivor that will never come — only degraded reads keep serving.
 	CheckpointDir string
 	// OnEvent, when set, observes every detector transition and reseed
-	// attempt. Called from the monitor goroutine, never concurrently; keep
-	// it fast or hand off. Nil is fine.
+	// attempt. Events are delivered in order from a dedicated dispatcher
+	// goroutine through a bounded queue (EventBuffer), so a slow sink
+	// never delays probe scheduling; when the queue is full events are
+	// dropped and counted (Monitor.DroppedEvents). A sink that never
+	// returns wedges only its own queue — and Stop, which flushes
+	// delivered-but-unprocessed events before returning. Nil is fine.
 	OnEvent func(Event)
+	// EventBuffer bounds the queue between the monitor loop and the
+	// OnEvent sink. 0 selects DefaultEventBuffer.
+	EventBuffer int
 }
+
+// DefaultEventBuffer is the default OnEvent queue depth: deep enough to
+// absorb a whole-cluster transition burst (every slot reporting at
+// once), small enough that an abandoned sink costs kilobytes.
+const DefaultEventBuffer = 256
 
 // DefaultHeartbeatInterval is the default probe period. One second keeps
 // detection latency at a few seconds with the default thresholds while the
@@ -77,6 +129,10 @@ type Monitor struct {
 	c    *Coordinator
 	opts MonitorOptions
 
+	// events decouples the monitor loop from the OnEvent sink; nil when
+	// no sink is configured.
+	events *eventQueue
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -105,12 +161,18 @@ func (c *Coordinator) StartMonitor(opts MonitorOptions) *Monitor {
 	if opts.ReseedEvery <= 0 {
 		opts.ReseedEvery = 4 * opts.Interval
 	}
+	if opts.EventBuffer <= 0 {
+		opts.EventBuffer = DefaultEventBuffer
+	}
 	m := &Monitor{
 		c:         c,
 		opts:      opts,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 		lastState: make(map[uint64]Liveness),
+	}
+	if opts.OnEvent != nil {
+		m.events = newEventQueue(opts.OnEvent, opts.EventBuffer)
 	}
 	c.monitorMu.Lock()
 	old := c.monitor
@@ -135,10 +197,31 @@ func (c *Coordinator) StopMonitor() {
 	}
 }
 
-// Stop ends the monitor's loop and waits for it to exit. Idempotent.
+// Stop ends the monitor's loop, waits for it to exit, and flushes any
+// queued-but-undelivered events to the OnEvent sink. Idempotent.
 func (m *Monitor) Stop() {
 	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
+	if m.events != nil {
+		m.events.drain()
+	}
+}
+
+// DroppedEvents returns how many monitor events were dropped because the
+// OnEvent queue was full.
+func (m *Monitor) DroppedEvents() uint64 {
+	if m.events == nil {
+		return 0
+	}
+	return m.events.dropped.Load()
+}
+
+// emit hands one event to the sink queue, never blocking the monitor
+// loop.
+func (m *Monitor) emit(e Event) {
+	if m.events != nil {
+		m.events.emit(e)
+	}
 }
 
 func (m *Monitor) run() {
@@ -247,7 +330,7 @@ func (m *Monitor) probe(n *node) error {
 // report emits an Event for every slot whose liveness changed since the
 // previous pass — including transitions made by the RPC path.
 func (m *Monitor) report(now time.Time) {
-	if m.opts.OnEvent == nil {
+	if m.events == nil {
 		return
 	}
 	for si, s := range m.c.slices {
@@ -268,7 +351,7 @@ func (m *Monitor) report(now time.Time) {
 		}
 		s.mu.Unlock()
 		for _, ch := range changes {
-			m.opts.OnEvent(Event{Time: now, Kind: ch.state.String(), Slice: si, Replica: ch.ri, Node: ch.name})
+			m.emit(Event{Time: now, Kind: ch.state.String(), Slice: si, Replica: ch.ri, Node: ch.name})
 		}
 	}
 }
@@ -296,14 +379,14 @@ func (m *Monitor) reseed(now time.Time) {
 	}
 	for _, j := range jobs {
 		err := m.reseedSlot(j.si, j.dial)
-		if m.opts.OnEvent == nil {
+		if m.events == nil {
 			continue
 		}
 		kind := "reseed"
 		if err != nil {
 			kind = "reseed-failed"
 		}
-		m.opts.OnEvent(Event{Time: now, Kind: kind, Slice: j.si, Replica: j.ri, Node: j.name, Err: err})
+		m.emit(Event{Time: now, Kind: kind, Slice: j.si, Replica: j.ri, Node: j.name, Err: err})
 	}
 }
 

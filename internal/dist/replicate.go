@@ -406,6 +406,7 @@ func (c *Coordinator) RestoreNode(si int, conn *Conn, snap *Snapshot) error {
 		return fmt.Errorf("dist: slice %d out of range 0…%d", si, len(c.slices)-1)
 	}
 	conn.SetTimeout(c.policy.RPCTimeout)
+	c.instrumentConn(conn)
 	n, err := handshake(c.workers, conn)
 	if err != nil {
 		conn.Close()

@@ -97,6 +97,12 @@ type deadliner interface {
 // peer frozen mid-frame is cut loose within one budget.
 const frameChunk = 1 << 22
 
+// RPCObserver observes one completed request/response round-trip on a
+// Conn: the message type, request and reply payload sizes, the elapsed
+// time, and the outcome. Observers must be fast and must not call back
+// into the connection; they run on the round-tripping goroutine.
+type RPCObserver func(msgType byte, sentBytes, recvBytes int, elapsed time.Duration, err error)
+
 // Conn is one framed, bidirectional coordinator↔worker byte stream. The
 // same frame codec runs over every transport; TCP and the in-process pipe
 // differ only in the underlying ReadWriteCloser. A Conn is not safe for
@@ -107,6 +113,13 @@ type Conn struct {
 	rw io.ReadWriteCloser
 	br *bufio.Reader
 	bw *bufio.Writer
+
+	// observe, when set, is invoked after every roundTrip; obsNow is the
+	// clock it is timed with (injected so instrumented deployments own
+	// their clock — see internal/obs). Mutated only between round-trips
+	// by the conn's owner, like timeout.
+	observe RPCObserver
+	obsNow  func() time.Time
 
 	// timeout bounds every send and recv, armed per frame chunk; 0 runs
 	// unbounded. Mutated only between round-trips by the conn's owner
@@ -141,6 +154,18 @@ func (c *Conn) SetTimeout(d time.Duration) {
 		d = 0
 	}
 	c.timeout = d
+}
+
+// SetObserver installs fn to observe every subsequent roundTrip on the
+// connection, timed with now (nil selects the wall clock). Like
+// SetTimeout it must be called between round-trips, under whatever lock
+// serializes them; nil fn removes the observer.
+func (c *Conn) SetObserver(fn RPCObserver, now func() time.Time) {
+	c.observe = fn
+	if now == nil {
+		now = time.Now
+	}
+	c.obsNow = now
 }
 
 // setIdleWait selects the worker-side receive discipline: waiting for the
@@ -318,8 +343,19 @@ type RemoteError struct {
 func (e *RemoteError) Error() string { return "dist: worker error: " + e.Msg }
 
 // roundTrip sends a request and reads the reply, converting a worker-side
-// msgError into a *RemoteError.
+// msgError into a *RemoteError. When an observer is installed, the whole
+// round-trip — send through reply — is measured and reported to it.
 func (c *Conn) roundTrip(msgType byte, body []byte) (byte, []byte, error) {
+	if c.observe == nil {
+		return c.roundTripInner(msgType, body)
+	}
+	start := c.obsNow()
+	replyType, reply, err := c.roundTripInner(msgType, body)
+	c.observe(msgType, len(body), len(reply), c.obsNow().Sub(start), err)
+	return replyType, reply, err
+}
+
+func (c *Conn) roundTripInner(msgType byte, body []byte) (byte, []byte, error) {
 	if err := c.send(msgType, body); err != nil {
 		return 0, nil, err
 	}

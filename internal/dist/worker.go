@@ -8,11 +8,13 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/eval"
+	"crowdassess/internal/obs"
 	"crowdassess/internal/store"
 )
 
@@ -76,6 +78,10 @@ type Worker struct {
 	inc      *core.ShardedIncremental
 	start    time.Time
 	instance uint64 // incarnation: fresh per Worker, announced in the hello
+
+	// obsReg, when set by Instrument, receives serve-path metrics. An
+	// atomic pointer so installing on a live worker is race-free.
+	obsReg atomic.Pointer[obs.Registry]
 
 	// journalMu orders WAL appends against compact snapshot cuts when a
 	// Store is attached: each ingest applies its batch and journals it
@@ -305,7 +311,25 @@ func (w *Worker) serveConn(c *Conn, serving *sync.Mutex) {
 // reply handles one request and writes its response, reporting whether the
 // connection is still usable.
 func (w *Worker) reply(c *Conn, msgType byte, body []byte) bool {
+	reg := w.obsReg.Load()
+	var start time.Time
+	if reg != nil {
+		start = reg.Clock().Now()
+	}
 	replyType, reply, err := w.handle(msgType, body)
+	if reg != nil {
+		msg := obs.Label{Key: "msg", Value: msgName(msgType)}
+		reg.Histogram("dist_serve_seconds",
+			"Worker-side request handling latency by message type.", nil, msg).
+			Observe(reg.Clock().Since(start).Seconds())
+		if err != nil {
+			reg.Counter("dist_serve_errors_total",
+				"Worker-side request failures by message type.", msg).Inc()
+		} else if msgType == msgIngest {
+			reg.Counter("worker_ingest_batches_total",
+				"Ingest batches accepted (applied and journaled).").Inc()
+		}
+	}
 	if err != nil {
 		replyType, reply = msgError, []byte(err.Error())
 	}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default histogram bounds, in seconds:
+// 100µs to 10s in a roughly-logarithmic ladder. They cover everything
+// from an in-process RPC to a cold state transfer without wasting
+// buckets on either end.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram: cumulative-on-read bucket
+// counts, a running sum, and a total count, all updated atomically so
+// Observe is wait-free and safe from any number of goroutines. A scrape
+// that races observations sees a consistent-enough snapshot: bucket
+// counts may trail the total by in-flight observations, which
+// exposition tolerates (Prometheus semantics are eventually-cumulative
+// anyway).
+type Histogram struct {
+	bounds []float64       // sorted ascending; +Inf is implicit
+	counts []atomic.Uint64 // per-bucket (not cumulative), len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// NewHistogram returns a histogram with the given upper bounds (nil
+// selects DefLatencyBuckets). Bounds must be sorted ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be sorted ascending")
+		}
+	}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot copies the per-bucket counts. The copy is not atomic across
+// buckets; see the type comment.
+func (h *Histogram) snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket where the target rank falls: the
+// standard fixed-bucket estimator, accurate to the bucket resolution.
+// Values in the overflow (+Inf) bucket are attributed to the largest
+// finite bound — the estimator cannot resolve beyond its ladder.
+// Returns NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no upper bound to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			// Position of the target rank inside this bucket.
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}

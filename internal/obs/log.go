@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+)
+
+// reqSeq numbers requests process-wide; the process prefix makes IDs
+// unique across a fleet without coordination.
+var reqSeq atomic.Uint64
+
+// requestIDKey is the context key for the per-request ID.
+type requestIDKey struct{}
+
+// NewRequestID mints a process-unique request ID with the given prefix
+// (typically the node name). IDs are sequential per process — cheap,
+// collision-free, and trivially greppable in logs.
+func NewRequestID(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, reqSeq.Add(1))
+}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// NewLogger returns a JSON slog.Logger writing to w at the given level,
+// tagged with the component name. This is the logging spine every
+// daemon component shares: one line per event, machine-parseable.
+func NewLogger(w io.Writer, component string, level slog.Level) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(h).With("component", component)
+}
+
+// statusRecorder captures the response status for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// HTTPMiddleware wraps next with per-request observability: it mints a
+// request ID (echoed in the X-Request-Id response header and threaded
+// through the request context), logs one structured line per request
+// with method/path/status/duration, and records the request latency
+// into reg's http_request_seconds histogram labeled by path.
+func HTTPMiddleware(next http.Handler, logger *slog.Logger, reg *Registry, idPrefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		clock := reg.Clock()
+		start := clock.Now()
+		id := NewRequestID(idPrefix)
+		w.Header().Set("X-Request-Id", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, req.WithContext(WithRequestID(req.Context(), id)))
+		elapsed := clock.Since(start)
+		reg.Histogram("http_request_seconds", "HTTP request latency by path.", nil,
+			Label{"path", req.URL.Path}).Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.Info("http",
+				"req_id", id,
+				"method", req.Method,
+				"path", req.URL.Path,
+				"status", rec.status,
+				"dur_ms", float64(elapsed.Microseconds())/1000.0,
+			)
+		}
+	})
+}

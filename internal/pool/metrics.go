@@ -1,0 +1,57 @@
+package pool
+
+import (
+	"crowdassess/internal/obs"
+)
+
+// This file wires the pool manager into an observability registry with
+// counters and scrape-time gauges only — no clocks, no randomness. The
+// pool package is wholesale-scanned by crowdvet's determinism analyzer,
+// and its decisions must stay a pure function of the response stream;
+// counting those decisions does not change them.
+
+// Instrument wires the manager into reg: review/decision counters
+// (recorded by Review) and a pool_workers gauge per lifecycle state,
+// evaluated at scrape time. Call once, typically at daemon startup.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	m.obs = reg
+	m.mu.Unlock()
+	for _, s := range []State{Probation, Active, Fired} {
+		s := s
+		reg.GaugeFunc("pool_workers",
+			"Crowd workers by lifecycle state.",
+			func() float64 {
+				m.mu.RLock()
+				defer m.mu.RUnlock()
+				n := 0
+				for _, st := range m.states {
+					if st == s {
+						n++
+					}
+				}
+				return float64(n)
+			},
+			obs.Label{Key: "state", Value: s.String()})
+	}
+}
+
+// noteReviewLocked records one completed Review and its decisions;
+// caller holds m.mu. Decision flips are the state-changing subset —
+// promotions and fires — the transitions an operator pages on.
+func (m *Manager) noteReviewLocked(out []Decision) {
+	if m.obs == nil {
+		return
+	}
+	m.obs.Counter("pool_reviews_total",
+		"Completed pool reviews.").Inc()
+	for _, d := range out {
+		m.obs.Counter("pool_decisions_total",
+			"Review decisions by action.",
+			obs.Label{Key: "action", Value: d.Action.String()}).Inc()
+		if d.Action != NoChange {
+			m.obs.Counter("pool_decision_flips_total",
+				"Review decisions that changed a worker's state (promote or fire).").Inc()
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
+	"crowdassess/internal/obs"
 	"crowdassess/internal/stat"
 )
 
@@ -160,6 +161,10 @@ type Manager struct {
 	mu        sync.RWMutex
 	states    []State
 	responses []atomic.Int64
+
+	// obs, when set by Instrument, receives review/decision counters.
+	// Guarded by mu.
+	obs *obs.Registry
 }
 
 // ErrFired is returned when a response is recorded for a fired worker.
@@ -331,6 +336,7 @@ func (m *Manager) Review() ([]Decision, error) {
 				Reason: "interval straddles the decision bars"})
 		}
 	}
+	m.noteReviewLocked(out)
 	return out, nil
 }
 

@@ -97,9 +97,10 @@ func DecodeSnapshotFile(b []byte) (Snapshot, error) {
 
 // DiskSnapshots is the local-disk SnapshotStore. Safe for concurrent use.
 type DiskSnapshots struct {
-	fsys FS
-	dir  string
-	keep int
+	fsys    FS
+	dir     string
+	keep    int
+	metrics *storeMetrics // nil when Options.Obs is unset
 
 	mu sync.Mutex
 }
@@ -110,7 +111,7 @@ func OpenSnapshots(fsys FS, dir string, opts Options) (*DiskSnapshots, error) {
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create snapshot dir: %w", err)
 	}
-	return &DiskSnapshots{fsys: fsys, dir: dir, keep: opts.KeepSnapshots}, nil
+	return &DiskSnapshots{fsys: fsys, dir: dir, keep: opts.KeepSnapshots, metrics: newStoreMetrics(opts.Obs)}, nil
 }
 
 func snapName(seq uint64) string {
@@ -137,6 +138,13 @@ func parseSnapName(name string) (uint64, bool) {
 func (s *DiskSnapshots) Save(seq uint64, payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if m := s.metrics; m != nil {
+		start := m.clock.Now()
+		defer func() {
+			m.snapSaveSec.Observe(m.clock.Since(start).Seconds())
+			m.snapSaved.Inc()
+		}()
+	}
 	path := filepath.Join(s.dir, snapName(seq))
 	if err := WriteFileAtomic(s.fsys, path, EncodeSnapshotFile(seq, payload), 0o644); err != nil {
 		return err
@@ -161,6 +169,9 @@ func (s *DiskSnapshots) Save(seq uint64, payload []byte) error {
 	for _, sq := range seqs[:len(seqs)-s.keep] {
 		if err := s.fsys.Remove(filepath.Join(s.dir, snapName(sq))); err != nil {
 			return fmt.Errorf("store: prune snapshot %d: %w", sq, err)
+		}
+		if s.metrics != nil {
+			s.metrics.snapPruned.Inc()
 		}
 	}
 	return s.fsys.SyncDir(s.dir)

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"crowdassess/internal/obs"
 )
 
 // Log is the write-ahead journal the ingest path appends to before acking.
@@ -81,6 +83,11 @@ type Options struct {
 	// KeepSnapshots bounds how many snapshot generations Save retains
 	// (default 2: the newest plus one fallback).
 	KeepSnapshots int
+	// Obs, when set, wires the engine into an observability registry:
+	// append/fsync/snapshot latency histograms and segment/truncation
+	// counters (see internal/obs). Nil disables instrumentation; the
+	// engine never makes a decision from these readings.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -133,9 +140,10 @@ type segInfo struct {
 
 // DiskLog is the local-disk Log. All methods are safe for concurrent use.
 type DiskLog struct {
-	fsys FS
-	dir  string
-	opts Options
+	fsys    FS
+	dir     string
+	opts    Options
+	metrics *storeMetrics // nil when Options.Obs is unset
 
 	mu       sync.Mutex
 	segments []segInfo // on-disk segments, ascending; includes the active one
@@ -227,7 +235,7 @@ func OpenLog(fsys FS, dir string, opts Options) (*DiskLog, error) {
 		}
 	}
 
-	l := &DiskLog{fsys: fsys, dir: dir, opts: opts}
+	l := &DiskLog{fsys: fsys, dir: dir, opts: opts, metrics: newStoreMetrics(opts.Obs)}
 	if err := l.recover(segs); err != nil {
 		return nil, err
 	}
@@ -390,6 +398,11 @@ func (l *DiskLog) Append(responses []Response) (uint64, error) {
 	case l.failed:
 		return 0, ErrLogFailed
 	}
+	var start time.Time
+	if l.metrics != nil {
+		start = l.metrics.clock.Now()
+	}
+	var appendedBytes, appendedRecords uint64
 	seq := l.lastSeq
 	for rest := toResponses(responses); len(rest) > 0; {
 		chunk := rest
@@ -411,16 +424,23 @@ func (l *DiskLog) Append(responses []Response) (uint64, error) {
 		}
 		l.segSize += int64(len(frame))
 		l.dirty = true
+		appendedBytes += uint64(len(frame))
+		appendedRecords++
 		// Advance per frame so a mid-batch rotation names the next
 		// segment after the records already written.
 		l.lastSeq = seq
 	}
 	if l.opts.Fsync == FsyncAlways {
-		if err := l.seg.Sync(); err != nil {
+		if err := l.timedSync(); err != nil {
 			l.failed = true
 			return 0, fmt.Errorf("store: sync record %d: %w", seq, err)
 		}
 		l.dirty = false
+	}
+	if m := l.metrics; m != nil {
+		m.appendSec.Observe(m.clock.Since(start).Seconds())
+		m.appendBytes.Add(appendedBytes)
+		m.records.Add(appendedRecords)
 	}
 	return seq, nil
 }
@@ -475,6 +495,9 @@ func (l *DiskLog) ensureSegmentLocked(incoming int64) error {
 	l.seg = f
 	l.segSize = int64(len(hdr))
 	l.segments = append(l.segments, segInfo{name: name, first: first})
+	if l.metrics != nil {
+		l.metrics.segCreated.Inc()
+	}
 	return nil
 }
 
@@ -485,7 +508,7 @@ func (l *DiskLog) closeSegmentLocked() error {
 		return nil
 	}
 	if l.dirty && l.opts.Fsync != FsyncNever {
-		if err := l.seg.Sync(); err != nil {
+		if err := l.timedSync(); err != nil {
 			l.seg.Close()
 			l.seg = nil
 			return fmt.Errorf("store: sync segment: %w", err)
@@ -574,6 +597,10 @@ func (l *DiskLog) TruncateBefore(seq uint64) error {
 			return fmt.Errorf("store: sync wal dir: %w", err)
 		}
 	}
+	if m := l.metrics; m != nil {
+		m.truncations.Inc()
+		m.segRemoved.Add(uint64(cut))
+	}
 	return nil
 }
 
@@ -624,7 +651,7 @@ func (l *DiskLog) syncLocked() error {
 	if l.seg == nil || !l.dirty {
 		return nil
 	}
-	if err := l.seg.Sync(); err != nil {
+	if err := l.timedSync(); err != nil {
 		l.failed = true
 		return fmt.Errorf("store: sync segment: %w", err)
 	}
