@@ -1,0 +1,83 @@
+package client
+
+import (
+	"context"
+	"sync"
+)
+
+// maxBatch mirrors the gateway's per-request batch limit; the batcher
+// clamps its size to it so a flush is never rejected for being too big.
+const maxBatch = 10000
+
+// Batcher accumulates responses and ships them in fixed-size batches —
+// the cheap way to feed a streaming source through the batch ingest
+// route without one HTTP round-trip per response. It is safe for
+// concurrent use; flushes serialize.
+type Batcher struct {
+	c    *Client
+	size int
+
+	mu    sync.Mutex
+	buf   []Response
+	total IngestResult
+}
+
+// NewBatcher returns a batcher flushing through c every size responses
+// (clamped to [1, 10000], the gateway's batch limit). Call Flush before
+// discarding it: responses below the size threshold sit in the buffer
+// until then.
+func (c *Client) NewBatcher(size int) *Batcher {
+	if size < 1 {
+		size = 1
+	}
+	if size > maxBatch {
+		size = maxBatch
+	}
+	return &Batcher{c: c, size: size, buf: make([]Response, 0, size)}
+}
+
+// Add buffers one response, flushing if the buffer reaches the batch
+// size. An error is a flush error: the flushed batch's delivery failed
+// (the buffer is kept so a later Flush retries it), but r itself was
+// buffered either way.
+func (b *Batcher) Add(ctx context.Context, r Response) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, r)
+	if len(b.buf) < b.size {
+		return nil
+	}
+	return b.flushLocked(ctx)
+}
+
+// Flush ships whatever is buffered. On error the buffer is retained, so
+// calling Flush again retries the same batch — safe when the failure
+// was a 429 (nothing was admitted), at the caller's discretion after
+// ambiguous network failures.
+func (b *Batcher) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked(ctx)
+}
+
+func (b *Batcher) flushLocked(ctx context.Context) error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	res, err := b.c.IngestBatch(ctx, b.buf)
+	if err != nil {
+		return err
+	}
+	b.total.Ingested += res.Ingested
+	b.total.Rejected += res.Rejected
+	b.buf = b.buf[:0]
+	return nil
+}
+
+// Totals reports the cumulative ingest outcome across every successful
+// flush so far.
+func (b *Batcher) Totals() IngestResult {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}

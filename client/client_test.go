@@ -1,0 +1,154 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdassess/client"
+)
+
+// flakyServer answers the first n requests with the given status (and
+// optional Retry-After), then succeeds with the body.
+func flakyServer(failures int, status int, retryAfter string, okBody string) (*httptest.Server, *atomic.Int64) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		if int(n) <= failures {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":{"code":"rate_limited","message":"slow down"}}`))
+			return
+		}
+		w.Write([]byte(okBody))
+	}))
+	return srv, &attempts
+}
+
+func TestIngestRetriesAfter429HonoringRetryAfter(t *testing.T) {
+	srv, attempts := flakyServer(1, http.StatusTooManyRequests, "1", `{"ingested":1,"rejected":0}`)
+	defer srv.Close()
+
+	c := client.New(srv.URL, "tok")
+	start := time.Now()
+	res, err := c.IngestBatch(context.Background(), []client.Response{{Worker: 0, Task: 0, Answer: 1}})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	if res.Ingested != 1 {
+		t.Errorf("ingested %d, want 1", res.Ingested)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("%d attempts, want 2 (one 429, one success)", got)
+	}
+	// The client must wait at least the advertised Retry-After (jitter
+	// only pushes the delay upward, into [ra, 1.5*ra]).
+	if elapsed < time.Second {
+		t.Errorf("retried after %v, before the 1s Retry-After elapsed", elapsed)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("retried after %v, far beyond the 1.5s jitter ceiling", elapsed)
+	}
+}
+
+func TestIngestNeverRetriesUpstreamErrors(t *testing.T) {
+	srv, attempts := flakyServer(10, http.StatusBadGateway, "", `{}`)
+	defer srv.Close()
+
+	c := client.New(srv.URL, "tok").WithRetry(client.RetryPolicy{Retries: 3, Backoff: time.Millisecond})
+	_, err := c.IngestBatch(context.Background(), []client.Response{{Worker: 0, Task: 0, Answer: 1}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v, want APIError with status 502", err)
+	}
+	// A 502 on ingest is ambiguous — some of the batch may be recorded —
+	// so the client must fail immediately rather than re-send.
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("%d attempts, want 1 (no retry on non-idempotent upstream failure)", got)
+	}
+}
+
+func TestIdempotentReadRetriesUpstreamErrors(t *testing.T) {
+	srv, attempts := flakyServer(2, http.StatusBadGateway, "",
+		`{"worker":0,"state":"probation","responses":0,"estimate":null}`)
+	defer srv.Close()
+
+	c := client.New(srv.URL, "tok").WithRetry(client.RetryPolicy{Retries: 3, Backoff: time.Millisecond})
+	w, err := c.WorkerInfo(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("WorkerInfo: %v", err)
+	}
+	if w.State != "probation" {
+		t.Errorf("state %q, want probation", w.State)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("%d attempts, want 3 (two 502s retried, then success)", got)
+	}
+}
+
+func TestRetriesExhaustedSurfacesLastError(t *testing.T) {
+	srv, attempts := flakyServer(100, http.StatusTooManyRequests, "", `{}`)
+	defer srv.Close()
+
+	c := client.New(srv.URL, "tok").WithRetry(client.RetryPolicy{Retries: 2, Backoff: time.Millisecond})
+	_, err := c.IngestBatch(context.Background(), []client.Response{{Worker: 0, Task: 0, Answer: 1}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Code != "rate_limited" {
+		t.Fatalf("err = %v, want the final rate_limited APIError", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("%d attempts, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestContextCancelsRetryWait(t *testing.T) {
+	srv, _ := flakyServer(100, http.StatusTooManyRequests, "5", `{}`)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := client.New(srv.URL, "tok")
+	start := time.Now()
+	_, err := c.IngestBatch(ctx, []client.Response{{Worker: 0, Task: 0, Answer: 1}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The 5s Retry-After must not pin the caller past its context.
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Errorf("cancellation took %v; the retry sleep ignored the context", waited)
+	}
+}
+
+func TestBatcherFlushesAtSizeAndOnDemand(t *testing.T) {
+	var batches atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		batches.Add(1)
+		w.Write([]byte(`{"ingested":2,"rejected":0}`))
+	}))
+	defer srv.Close()
+
+	c := client.New(srv.URL, "tok")
+	b := c.NewBatcher(2)
+	ctx := context.Background()
+	for task := 0; task < 4; task++ {
+		if err := b.Add(ctx, client.Response{Worker: 0, Task: task, Answer: 1}); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := b.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := batches.Load(); got != 2 {
+		t.Errorf("%d batches shipped, want 2 (size-triggered flushes; final Flush empty)", got)
+	}
+	if tot := b.Totals(); tot.Ingested != 4 {
+		t.Errorf("totals %+v, want 4 ingested", tot)
+	}
+}

@@ -1,0 +1,100 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"crowdassess/client"
+	"crowdassess/internal/gate"
+)
+
+// startGateway boots an in-process gateway with one tenant so the
+// examples run self-contained under `go test`; against a deployed
+// crowdgate only the base URL and token change.
+func startGateway() *httptest.Server {
+	gw, err := gate.New(gate.Options{Tenants: []gate.TenantConfig{
+		{Name: "example", Token: "example-token", Workers: 8},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	return httptest.NewServer(gw)
+}
+
+// Batch ingest: submit crowd responses and read back a worker's
+// quality record.
+func ExampleClient_IngestBatch() {
+	srv := startGateway()
+	defer srv.Close()
+
+	c := client.New(srv.URL, "example-token")
+	ctx := context.Background()
+
+	res, err := c.IngestBatch(ctx, []client.Response{
+		{Worker: 0, Task: 10, Answer: 1},
+		{Worker: 1, Task: 10, Answer: 1},
+		{Worker: 2, Task: 10, Answer: 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ingested %d rejected %d\n", res.Ingested, res.Rejected)
+
+	w, err := c.WorkerInfo(ctx, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("worker %d: %s, %d responses\n", w.Worker, w.State, w.Responses)
+	// Output:
+	// ingested 3 rejected 0
+	// worker 0: probation, 1 responses
+}
+
+// Streaming sources use a Batcher: responses accumulate client-side and
+// ship in gateway-sized batches; Flush drains the remainder.
+func ExampleBatcher() {
+	srv := startGateway()
+	defer srv.Close()
+
+	c := client.New(srv.URL, "example-token")
+	ctx := context.Background()
+
+	b := c.NewBatcher(2)
+	for task := 0; task < 3; task++ {
+		if err := b.Add(ctx, client.Response{Worker: 1, Task: task, Answer: 1}); err != nil {
+			panic(err)
+		}
+	}
+	if err := b.Flush(ctx); err != nil {
+		panic(err)
+	}
+	fmt.Printf("ingested %d\n", b.Totals().Ingested)
+	// Output:
+	// ingested 3
+}
+
+// Pool review: apply the tenant's hire/fire policy to its current
+// statistics. Workers below the policy's MinResponses bar produce no
+// decision, so a young crowd reviews to an empty list.
+func ExampleClient_Review() {
+	srv := startGateway()
+	defer srv.Close()
+
+	c := client.New(srv.URL, "example-token")
+	ctx := context.Background()
+
+	if _, err := c.IngestBatch(ctx, []client.Response{
+		{Worker: 0, Task: 0, Answer: 1},
+		{Worker: 1, Task: 0, Answer: 1},
+	}); err != nil {
+		panic(err)
+	}
+	decisions, err := c.Review(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("decisions: %d\n", len(decisions))
+	// Output:
+	// decisions: 0
+}

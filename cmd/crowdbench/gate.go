@@ -1,0 +1,189 @@
+// The gateway load benchmark (-gate): a closed loop of concurrent
+// clients driving a live crowdgate HTTP server end to end — real TCP
+// listener, real client package, batch ingest plus worker-quality
+// queries — recording per-request quantiles and the fraction of
+// requests the gateway shed with 429 before admission.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdassess/client"
+	"crowdassess/internal/gate"
+	"crowdassess/internal/obs"
+)
+
+// gateBatchSize is the ingest batch size the closed loop ships — the
+// same 256 the -dist and -latency benchmarks use, so the per-request
+// numbers stay comparable across the serving stack's layers.
+const gateBatchSize = 256
+
+// gateQueryRounds is how many GET /v1/workers/{id} calls each submitter
+// issues once ingest completes: enough samples for a stable p99 of the
+// single-worker evaluation path.
+const gateQueryRounds = 64
+
+// runGate is the closed-loop gateway benchmark: the synthetic
+// submission stream is pushed through a live crowdgate in concurrent
+// ingest batches (shed batches are retried until admitted, counting
+// toward the shed rate), then every submitter hammers the worker-query
+// route, then one pool review runs. Ingest and query latencies land in
+// internal/obs fixed-bucket histograms — the same estimator the live
+// gateway exports on /metrics — and the record carries p50/p95/p99 plus
+// the shed rate.
+func runGate(shards, workers, tasks, goroutines, queueDepth int, seed int64, quiet bool) ([]benchRecord, error) {
+	goroutines = benchGoroutines(goroutines)
+	subs, err := genSubmissions(workers, tasks, seed)
+	if err != nil {
+		return nil, err
+	}
+	const token = "bench-token"
+	gw, err := gate.New(gate.Options{
+		Tenants:    []gate.TenantConfig{{Name: "bench", Token: token, Workers: workers, Shards: shards}},
+		QueueDepth: queueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	ingestHist := obs.NewHistogram(nil)
+	queryHist := obs.NewHistogram(nil)
+	var sheds, requests atomic.Int64
+
+	// Retries are handled by the loop below so every attempt — including
+	// shed ones — is counted and timed; the client must not hide them.
+	newClient := func() *client.Client {
+		return client.New(srv.URL, token).
+			WithRetry(client.RetryPolicy{}).
+			WithHTTPClient(&http.Client{Timeout: 30 * time.Second})
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := newClient()
+			var batch []client.Response
+			flush := func() {
+				for len(batch) > 0 && errs[g] == nil {
+					t0 := time.Now()
+					_, err := c.IngestBatch(ctx, batch)
+					ingestHist.Observe(time.Since(t0).Seconds())
+					requests.Add(1)
+					var ae *client.APIError
+					if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
+						// Shed before admission: nothing was recorded, the
+						// same batch goes again after the advertised pause.
+						sheds.Add(1)
+						time.Sleep(ae.RetryAfter)
+						continue
+					}
+					errs[g] = err
+					batch = batch[:0]
+				}
+			}
+			for i := g; i < len(subs); i += goroutines {
+				s := subs[i]
+				batch = append(batch, client.Response{Worker: s.w, Task: s.t, Answer: int(s.r)})
+				if len(batch) >= gateBatchSize {
+					flush()
+				}
+			}
+			flush()
+		}(g)
+	}
+	wg.Wait()
+	ingestElapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	queryStart := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := newClient()
+			for i := 0; i < gateQueryRounds; i++ {
+				t0 := time.Now()
+				_, err := c.WorkerInfo(ctx, (g*gateQueryRounds+i)%workers)
+				queryHist.Observe(time.Since(t0).Seconds())
+				requests.Add(1)
+				var ae *client.APIError
+				if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests {
+					sheds.Add(1)
+					continue // a query carries no state; skipping is fine
+				}
+				if err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	queryElapsed := time.Since(queryStart)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if _, err := newClient().Review(ctx); err != nil {
+		return nil, err
+	}
+
+	shedRate := float64(sheds.Load()) / float64(requests.Load())
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "crowdbench: gate ingest: %d batches p50=%.4fs p95=%.4fs p99=%.4fs; query: %d calls p50=%.4fs p99=%.4fs; shed rate %.3f\n",
+			ingestHist.Count(), ingestHist.Quantile(0.5), ingestHist.Quantile(0.95), ingestHist.Quantile(0.99),
+			queryHist.Count(), queryHist.Quantile(0.5), queryHist.Quantile(0.99), shedRate)
+	}
+	return []benchRecord{
+		{
+			Experiment: "gate/ingest",
+			Seconds:    ingestElapsed.Seconds(),
+			Seed:       seed,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Shards:     shards,
+			Goroutines: goroutines,
+			Responses:  len(subs),
+			OpsPerSec:  float64(len(subs)) / ingestElapsed.Seconds(),
+			Samples:    int(ingestHist.Count()),
+			P50:        ingestHist.Quantile(0.5),
+			P95:        ingestHist.Quantile(0.95),
+			P99:        ingestHist.Quantile(0.99),
+			ShedRate:   shedRate,
+		},
+		{
+			Experiment: "gate/query",
+			Seconds:    queryElapsed.Seconds(),
+			Seed:       seed,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Shards:     shards,
+			Goroutines: goroutines,
+			OpsPerSec:  float64(queryHist.Count()) / queryElapsed.Seconds(),
+			Samples:    int(queryHist.Count()),
+			P50:        queryHist.Quantile(0.5),
+			P95:        queryHist.Quantile(0.95),
+			P99:        queryHist.Quantile(0.99),
+		},
+	}, nil
+}

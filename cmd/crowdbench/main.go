@@ -94,12 +94,16 @@ type benchRecord struct {
 	// Distributed-cluster fields (-dist).
 	Nodes int `json:"nodes,omitempty"`
 
-	// Closed-loop latency fields (-latency): per-request quantiles
+	// Closed-loop latency fields (-latency, -gate): per-request quantiles
 	// estimated from internal/obs fixed-bucket histograms.
 	Samples int     `json:"samples,omitempty"`
 	P50     float64 `json:"p50_seconds,omitempty"`
 	P95     float64 `json:"p95_seconds,omitempty"`
 	P99     float64 `json:"p99_seconds,omitempty"`
+
+	// Gateway load fields (-gate): fraction of requests shed or
+	// rate-limited with 429 before admission.
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // validateCounts rejects nonsensical count flags up front, naming the
@@ -146,6 +150,9 @@ func main() {
 		distShards = flag.Int("dist-shards", 2, "distributed benchmark: task-stripe shards per node")
 
 		latency = flag.Bool("latency", false, "run the closed-loop serving-latency benchmark: per-request ingest and evaluate quantiles (p50/p95/p99) against an in-process cluster")
+
+		gateBench = flag.Bool("gate", false, "run the closed-loop gateway load benchmark: batch-ingest and worker-query quantiles plus shed rate through a live crowdgate HTTP server")
+		gateQueue = flag.Int("gate-queue", 0, "gateway benchmark: admission queue depth (0 = gate default)")
 	)
 	flag.Parse()
 
@@ -162,13 +169,13 @@ func main() {
 		return
 	}
 	modes := 0
-	for _, on := range []bool{*ingest != "", *distNodes != "", *latency} {
+	for _, on := range []bool{*ingest != "", *distNodes != "", *latency, *gateBench} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "crowdbench: -ingest, -dist and -latency are separate benchmarks; run them one at a time")
+		fmt.Fprintln(os.Stderr, "crowdbench: -ingest, -dist, -latency and -gate are separate benchmarks; run them one at a time")
 		os.Exit(2)
 	}
 	if modes == 1 {
@@ -179,6 +186,8 @@ func main() {
 			records, err = runIngest(*ingest, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
 		case *latency:
 			records, err = runLatency(*distShards, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
+		case *gateBench:
+			records, err = runGate(*distShards, *ingestWorkers, *ingestTasks, *ingestGoroutines, *gateQueue, *seed, *quiet)
 		default:
 			records, err = runDist(*distNodes, *distShards, *ingestWorkers, *ingestTasks, *ingestGoroutines, *seed, *quiet)
 		}

@@ -23,6 +23,7 @@ import (
 	"crowdassess/internal/core"
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/dist"
+	"crowdassess/internal/gate"
 	"crowdassess/internal/obs"
 	"crowdassess/internal/pool"
 	"crowdassess/internal/store"
@@ -151,14 +152,17 @@ func newCoordinatorMux(coord *dist.Coordinator, mgr *pool.Manager, ce *dist.Clus
 			"uptime_s":        reg.Uptime().Seconds(),
 		})
 	})
+	// Error responses use the same {"error":{"code","message"}} envelope
+	// as crowdgate's /v1 API (gate.WriteError), so a client sees one
+	// error shape whether it talks to the gateway or this head directly.
 	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			gate.WriteError(w, http.StatusMethodNotAllowed, gate.CodeMethodNotAllowed, "/ingest requires POST")
 			return
 		}
 		var recs []ingestRec
 		if err := json.NewDecoder(r.Body).Decode(&recs); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			gate.WriteError(w, http.StatusBadRequest, gate.CodeBadRequest, "decoding body: "+err.Error())
 			return
 		}
 		// Records go through the pool manager so fired workers are turned
@@ -173,17 +177,17 @@ func newCoordinatorMux(coord *dist.Coordinator, mgr *pool.Manager, ce *dist.Clus
 			case errors.Is(err, pool.ErrFired):
 				rejected++
 			case err != nil:
-				http.Error(w, err.Error(), http.StatusBadRequest)
+				gate.WriteError(w, http.StatusBadRequest, gate.CodeBadRequest, err.Error())
 				return
 			}
 		}
 		if err := ce.Flush(); err != nil {
-			status := http.StatusBadGateway
+			status, code := http.StatusBadGateway, gate.CodeUpstream
 			var re *dist.RemoteError
 			if errors.As(err, &re) {
-				status = http.StatusBadRequest // the batch, not the cluster
+				status, code = http.StatusBadRequest, gate.CodeBadRequest // the batch, not the cluster
 			}
-			http.Error(w, err.Error(), status)
+			gate.WriteError(w, status, code, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -191,12 +195,12 @@ func newCoordinatorMux(coord *dist.Coordinator, mgr *pool.Manager, ce *dist.Clus
 	})
 	mux.HandleFunc("/review", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			gate.WriteError(w, http.StatusMethodNotAllowed, gate.CodeMethodNotAllowed, "/review requires POST")
 			return
 		}
 		decisions, err := mgr.Review()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			gate.WriteError(w, http.StatusBadGateway, gate.CodeUpstream, err.Error())
 			return
 		}
 		views := make([]decisionView, len(decisions))
@@ -214,14 +218,14 @@ func newCoordinatorMux(coord *dist.Coordinator, mgr *pool.Manager, ce *dist.Clus
 		if s := r.URL.Query().Get("confidence"); s != "" {
 			v, err := strconv.ParseFloat(s, 64)
 			if err != nil {
-				http.Error(w, "bad confidence: "+err.Error(), http.StatusBadRequest)
+				gate.WriteError(w, http.StatusBadRequest, gate.CodeBadRequest, "bad confidence: "+err.Error())
 				return
 			}
 			confidence = v
 		}
 		ests, err := coord.EvaluateAll(core.EvalOptions{Confidence: confidence})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			gate.WriteError(w, http.StatusBadGateway, gate.CodeUpstream, err.Error())
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,297 @@
+// Command crowdgate is the public front door of the assessment service:
+// a multi-tenant HTTP/JSON gateway (internal/gate) serving the /v1 API —
+// batch ingest, worker-quality queries, pool review — with static-token
+// auth, per-tenant rate limits and admission-control backpressure.
+//
+//	crowdgate -listen :8080 -tenants tenants.json [-queue 64] [-pprof]
+//
+// Tenants are declared in a JSON file (see docs/operations.md):
+//
+//	{"tenants": [
+//	  {"name": "acme", "token": "s3cret", "workers": 40, "shards": 4,
+//	   "rate_per_sec": 200, "burst": 50},
+//	  {"name": "beta", "token_env": "BETA_TOKEN", "workers": 25,
+//	   "cluster": "a:7333,b:7333;c:7333,d:7333"}
+//	]}
+//
+// A tenant with a "cluster" spec fronts a distributed deployment: the
+// gateway dials every replica, becomes the cluster's (single) coordinator
+// and runs the self-healing monitor over it. Tenants without one get an
+// in-process sharded evaluator. Either way the tenant's statistics are
+// its own — the isolation the gate package enforces by construction.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"crowdassess/internal/dist"
+	"crowdassess/internal/gate"
+	"crowdassess/internal/obs"
+	"crowdassess/internal/pool"
+)
+
+// tenantSpec is one tenant entry in the -tenants JSON file.
+type tenantSpec struct {
+	// Name identifies the tenant in metrics and logs.
+	Name string `json:"name"`
+	// Token is the tenant's static bearer token; TokenEnv names an
+	// environment variable to read it from instead (preferred — tokens
+	// in config files end up in version control).
+	Token    string `json:"token"`
+	TokenEnv string `json:"token_env"`
+	// Workers is the tenant's crowd size.
+	Workers int `json:"workers"`
+	// Shards is the local evaluator's shard count (ignored with Cluster).
+	Shards int `json:"shards"`
+	// RatePerSec and Burst configure the tenant's token bucket; a zero
+	// rate means unlimited.
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      int     `json:"burst"`
+	// Cluster is a crowdd replica spec ("a:7333,b:7333;c:7333,d:7333" —
+	// ';' separates task slices, ',' a slice's replicas). When set, this
+	// tenant fronts that cluster instead of a local evaluator.
+	Cluster string `json:"cluster"`
+	// MinResponses overrides the pool policy's decision floor when > 0.
+	MinResponses int `json:"min_responses"`
+}
+
+// gateConfig is the -tenants file shape.
+type gateConfig struct {
+	Tenants []tenantSpec `json:"tenants"`
+}
+
+// loadConfig reads and validates the tenant config file.
+func loadConfig(path string) (gateConfig, error) {
+	var cfg gateConfig
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(cfg.Tenants) == 0 {
+		return cfg, fmt.Errorf("%s: no tenants declared", path)
+	}
+	return cfg, nil
+}
+
+// resolveToken returns the tenant's bearer token, preferring token_env.
+func resolveToken(ts tenantSpec) (string, error) {
+	if ts.TokenEnv != "" {
+		tok := os.Getenv(ts.TokenEnv)
+		if tok == "" {
+			return "", fmt.Errorf("tenant %q: environment variable %s is empty", ts.Name, ts.TokenEnv)
+		}
+		return tok, nil
+	}
+	if ts.Token == "" {
+		return "", fmt.Errorf("tenant %q: token or token_env is required", ts.Name)
+	}
+	return ts.Token, nil
+}
+
+// parseGroups splits a cluster spec into replica address groups:
+// "a,b;c,d" → [[a b] [c d]] — the same grammar crowdd -coordinate uses.
+func parseGroups(spec string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(spec, ";") {
+		if strings.TrimSpace(g) == "" {
+			return nil, fmt.Errorf("empty replica group in cluster spec %q", spec)
+		}
+		var reps []string
+		for _, a := range strings.Split(g, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("empty replica address in cluster spec %q", spec)
+			}
+			reps = append(reps, a)
+		}
+		groups = append(groups, reps)
+	}
+	return groups, nil
+}
+
+// buildCluster dials every replica and assembles the tenant's
+// coordinator, each slot wired with a dialer so policy retries and the
+// monitor's reseed can reconnect.
+func buildCluster(workers int, groups [][]string, policy dist.Policy) (*dist.Coordinator, error) {
+	specs := make([][]dist.ReplicaSpec, len(groups))
+	var open []*dist.Conn
+	fail := func(err error) (*dist.Coordinator, error) {
+		for _, c := range open {
+			c.Close()
+		}
+		return nil, err
+	}
+	for si, g := range groups {
+		for _, addr := range g {
+			conn, err := dist.DialTCPTimeout(addr, policy.DialTimeout)
+			if err != nil {
+				return fail(err)
+			}
+			open = append(open, conn)
+			specs[si] = append(specs[si], dist.ReplicaSpec{
+				Conn: conn,
+				Dial: func() (*dist.Conn, error) { return dist.DialTCPTimeout(addr, policy.DialTimeout) },
+			})
+		}
+	}
+	// NewCluster takes ownership of every connection from here on.
+	return dist.NewCluster(workers, specs, policy)
+}
+
+// buildTenant turns one config entry into a gate.TenantConfig, returning
+// a cleanup for any cluster resources it opened.
+func buildTenant(ts tenantSpec, reg *obs.Registry) (gate.TenantConfig, func(), error) {
+	none := func() {}
+	if ts.Name == "" {
+		return gate.TenantConfig{}, none, fmt.Errorf("tenant with empty name")
+	}
+	token, err := resolveToken(ts)
+	if err != nil {
+		return gate.TenantConfig{}, none, err
+	}
+	if ts.Workers <= 0 {
+		return gate.TenantConfig{}, none, fmt.Errorf("tenant %q: positive workers required", ts.Name)
+	}
+	policy := pool.DefaultPolicy()
+	if ts.MinResponses > 0 {
+		policy.MinResponses = ts.MinResponses
+	}
+	tc := gate.TenantConfig{
+		Name: ts.Name, Token: token,
+		Workers: ts.Workers, Shards: ts.Shards, Policy: &policy,
+		RatePerSec: ts.RatePerSec, Burst: ts.Burst,
+	}
+	if ts.Cluster == "" {
+		return tc, none, nil
+	}
+	groups, err := parseGroups(ts.Cluster)
+	if err != nil {
+		return gate.TenantConfig{}, none, fmt.Errorf("tenant %q: %w", ts.Name, err)
+	}
+	coord, err := buildCluster(ts.Workers, groups, dist.DefaultPolicy())
+	if err != nil {
+		return gate.TenantConfig{}, none, fmt.Errorf("tenant %q: dialing cluster: %w", ts.Name, err)
+	}
+	coord.Instrument(reg)
+	coord.StartMonitor(dist.MonitorOptions{
+		OnEvent: dist.ChainEvents(dist.EventMetrics(reg), func(e dist.Event) {
+			fmt.Fprintf(os.Stderr, "crowdgate: tenant %s: cluster: %s\n", ts.Name, e)
+		}),
+	}).Instrument(reg)
+	ce := dist.NewClusterEvaluator(coord, 0)
+	mgr, err := pool.NewManagerWith(ce, policy)
+	if err != nil {
+		coord.Close()
+		return gate.TenantConfig{}, none, fmt.Errorf("tenant %q: %w", ts.Name, err)
+	}
+	mgr.Instrument(reg)
+	tc.Manager = mgr
+	tc.Flush = ce.Flush
+	return tc, func() { coord.Close() }, nil
+}
+
+func run() error {
+	listen := flag.String("listen", "", "address to serve the /v1 API on (required), e.g. :8080")
+	tenantsPath := flag.String("tenants", "", "path to the tenant config JSON file (required)")
+	queue := flag.Int("queue", 0, "admission queue depth; requests beyond it are shed with 429 (0 = default)")
+	retryAfter := flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 1s)")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
+	flag.Parse()
+	if *listen == "" {
+		return fmt.Errorf("-listen is required")
+	}
+	if *tenantsPath == "" {
+		return fmt.Errorf("-tenants is required")
+	}
+	cfg, err := loadConfig(*tenantsPath)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry(nil)
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the gateway came up.",
+		func() float64 { return reg.Uptime().Seconds() })
+	logger := obs.NewLogger(os.Stderr, "crowdgate", slog.LevelInfo)
+
+	opts := gate.Options{QueueDepth: *queue, RetryAfter: *retryAfter, Registry: reg, Logger: logger}
+	var cleanups []func()
+	defer func() {
+		for _, c := range cleanups {
+			c()
+		}
+	}()
+	for _, ts := range cfg.Tenants {
+		tc, cleanup, err := buildTenant(ts, reg)
+		if err != nil {
+			return err
+		}
+		cleanups = append(cleanups, cleanup)
+		opts.Tenants = append(opts.Tenants, tc)
+		backend := "local"
+		if ts.Cluster != "" {
+			backend = "cluster " + ts.Cluster
+		}
+		fmt.Fprintf(os.Stderr, "crowdgate: tenant %s: %d workers, %s\n", ts.Name, ts.Workers, backend)
+	}
+	gw, err := gate.New(opts)
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", gw)
+	mux.Handle("/metrics", reg)
+	if *pprofOn {
+		attachPprof(mux)
+	}
+	srv := &http.Server{Addr: *listen, Handler: obs.HTTPMiddleware(mux, logger, reg, "gate")}
+
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			serveErr <- err
+			return
+		}
+		serveErr <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "crowdgate: serving /v1 for %d tenants on %s\n", len(cfg.Tenants), *listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sig:
+	}
+	fmt.Fprintf(os.Stderr, "crowdgate: shutting down\n")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// In-flight requests get the grace period; the listener closes now.
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-serveErr
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "crowdgate: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// attachPprof mounts the profiling handlers explicitly (rather than
+// serving http.DefaultServeMux, which the net/http/pprof import
+// populates as a side effect), so profiling is reachable only when
+// -pprof asked for it — the same discipline as crowdd's head.
+func attachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+)
+
+// Block is one runnable fenced code block extracted from a markdown
+// document: the fence language, the code body, and the 1-based line of
+// the opening fence for error reporting.
+type Block struct {
+	Lang string
+	Code string
+	Line int
+}
+
+// marker is the opt-in comment: only a fenced block immediately
+// following it (blank lines allowed in between) is executed. Everything
+// else in the document is prose and stays inert.
+const marker = "<!-- doccheck -->"
+
+// Extract scans a markdown document for doccheck-marked fenced code
+// blocks. A block is selected when the line `<!-- doccheck -->` appears
+// above its opening fence with only blank lines in between; the fence
+// language must be bash, sh or go. An armed marker that reaches a
+// non-blank, non-fence line disarms — prose between marker and fence
+// means the marker was decorative.
+func Extract(src string) []Block {
+	var blocks []Block
+	lines := strings.Split(src, "\n")
+	armed := false
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == marker {
+			armed = true
+			continue
+		}
+		if !strings.HasPrefix(line, "```") {
+			if armed && line != "" {
+				armed = false
+			}
+			continue
+		}
+		lang := strings.TrimSpace(strings.TrimPrefix(line, "```"))
+		fenceLine := i + 1
+		var body []string
+		for i++; i < len(lines); i++ {
+			if strings.TrimSpace(lines[i]) == "```" {
+				break
+			}
+			body = append(body, lines[i])
+		}
+		if armed && (lang == "bash" || lang == "sh" || lang == "go") {
+			code := strings.TrimRight(strings.Join(body, "\n"), "\n")
+			blocks = append(blocks, Block{Lang: lang, Code: code, Line: fenceLine})
+		}
+		armed = false
+	}
+	return blocks
+}

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestExtractSelectsOnlyMarkedBlocks(t *testing.T) {
+	src := "# Doc\n" +
+		"```bash\necho unmarked\n```\n" +
+		"<!-- doccheck -->\n" +
+		"```bash\necho first\n```\n" +
+		"prose\n" +
+		"<!-- doccheck -->\n" +
+		"\n" +
+		"```sh\necho second\n```\n" +
+		"<!-- doccheck -->\n" +
+		"prose disarms the marker\n" +
+		"```bash\necho not this one\n```\n" +
+		"<!-- doccheck -->\n" +
+		"```go\npackage main\n\nfunc main() {}\n```\n" +
+		"<!-- doccheck -->\n" +
+		"```json\n{\"not\": \"runnable\"}\n```\n"
+	blocks := Extract(src)
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3: %+v", len(blocks), blocks)
+	}
+	if blocks[0].Lang != "bash" || blocks[0].Code != "echo first" {
+		t.Errorf("block 0 = %+v", blocks[0])
+	}
+	if blocks[1].Lang != "sh" || blocks[1].Code != "echo second" {
+		t.Errorf("block 1 = %+v", blocks[1])
+	}
+	if blocks[2].Lang != "go" || blocks[2].Code != "package main\n\nfunc main() {}" {
+		t.Errorf("block 2 = %+v", blocks[2])
+	}
+}
+
+func TestExtractRecordsFenceLine(t *testing.T) {
+	src := "line one\n<!-- doccheck -->\n```bash\ntrue\n```\n"
+	blocks := Extract(src)
+	if len(blocks) != 1 || blocks[0].Line != 3 {
+		t.Fatalf("got %+v, want one block at line 3", blocks)
+	}
+}
+
+func TestExtractUnterminatedFence(t *testing.T) {
+	src := "<!-- doccheck -->\n```bash\necho dangling\n"
+	blocks := Extract(src)
+	if len(blocks) != 1 || blocks[0].Code != "echo dangling" {
+		t.Fatalf("got %+v, want the dangling block body", blocks)
+	}
+}

@@ -1,0 +1,86 @@
+// Command doccheck keeps the API reference honest: it extracts fenced
+// bash/sh/go code blocks marked with `<!-- doccheck -->` from markdown
+// files and executes them against whatever live service the environment
+// points at, so a documented route, status code or example that rots
+// fails CI instead of misleading a reader.
+//
+//	doccheck docs/api.md [more.md ...]
+//
+// bash/sh blocks run under `sh -e` (first failing command fails the
+// block) with the caller's environment — CI exports GATE, TOKEN_A and
+// TOKEN_B so the documented curl invocations hit the gateway it booted.
+// go blocks must be complete main-package programs; each is written into
+// a throwaway dot-directory under the current working directory (inside
+// the module, so module imports resolve; invisible to ./... patterns)
+// and executed with `go run`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+func main() {
+	shell := flag.String("shell", "sh", "shell for bash/sh blocks (invoked as <shell> -e)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "doccheck: at least one markdown file is required")
+		os.Exit(2)
+	}
+	failures := 0
+	total := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		blocks := Extract(string(src))
+		if len(blocks) == 0 {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: no doccheck-marked blocks found\n", path)
+			failures++
+			continue
+		}
+		for _, b := range blocks {
+			total++
+			if err := runBlock(*shell, b); err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: FAIL %s:%d (%s): %v\n", path, b.Line, b.Lang, err)
+				failures++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "doccheck: ok %s:%d (%s)\n", path, b.Line, b.Lang)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d of %d blocks failed\n", failures, total)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "doccheck: all %d blocks passed\n", total)
+}
+
+// runBlock executes one extracted block, streaming its output through.
+func runBlock(shell string, b Block) error {
+	switch b.Lang {
+	case "bash", "sh":
+		cmd := exec.Command(shell, "-e", "-c", b.Code)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		return cmd.Run()
+	case "go":
+		dir, err := os.MkdirTemp(".", ".doccheck-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		main := filepath.Join(dir, "main.go")
+		if err := os.WriteFile(main, []byte(b.Code), 0o644); err != nil {
+			return err
+		}
+		cmd := exec.Command("go", "run", main)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		return cmd.Run()
+	}
+	return fmt.Errorf("unsupported block language %q", b.Lang)
+}

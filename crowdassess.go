@@ -36,6 +36,7 @@ import (
 	"crowdassess/internal/crowd"
 	"crowdassess/internal/dist"
 	"crowdassess/internal/eval"
+	"crowdassess/internal/gate"
 	"crowdassess/internal/pool"
 	"crowdassess/internal/randx"
 	"crowdassess/internal/sim"
@@ -524,6 +525,31 @@ func NewDistributedPool(coord *DistributedEvaluator, batch int, policy PoolPolic
 
 // DefaultPoolPolicy returns the default decision bars.
 func DefaultPoolPolicy() PoolPolicy { return pool.DefaultPolicy() }
+
+// PoolWorkerInfo is one worker's full quality record (state, response
+// count, current interval) as Pool.WorkerInfo returns it — the read
+// behind the gateway's GET /v1/workers/{id}.
+type PoolWorkerInfo = pool.WorkerInfo
+
+// Serving layer — the multi-tenant HTTP gateway (the library form of the
+// crowdgate binary): a versioned /v1 JSON API over per-tenant worker
+// pools with bearer-token auth, token-bucket rate limiting and
+// admission-control backpressure. See docs/api.md for the wire contract
+// and the client package for the typed Go client.
+type (
+	// Gateway is the /v1 API handler; mount it on any http.Server.
+	Gateway = gate.Gateway
+	// GatewayOptions configures NewGateway.
+	GatewayOptions = gate.Options
+	// GatewayTenant declares one isolated tenant namespace.
+	GatewayTenant = gate.TenantConfig
+)
+
+// NewGateway builds a multi-tenant serving gateway. Each tenant gets an
+// isolated pool — local by default, cluster-backed when the tenant
+// config carries a pre-built Manager — so no route can reach another
+// tenant's statistics.
+func NewGateway(opts GatewayOptions) (*Gateway, error) { return gate.New(opts) }
 
 // Gold-standard evaluation — the classical technique the paper's
 // introduction contrasts against, for deployments that do have some expert

@@ -28,6 +28,11 @@ var determinismExemptions = map[string]string{
 	// Merge/RunSweep paths): the rest is heartbeat/retry machinery that
 	// is legitimately time-based. Asserted as partial coverage below.
 	"internal/dist": "partially scoped: codec/merge/sweep paths only",
+	// gate is the serving layer: its clock paces token-bucket refills and
+	// Retry-After hints — when a request is admitted, never what the
+	// estimator computes. Statistics flow through pool/core, which the
+	// analyzer does scan.
+	"internal/gate": "clocks pace rate limits and backpressure, not statistics",
 	// obs is the observability layer: its clocks time histogram samples
 	// and its counters count, but nothing on the decision path reads a
 	// measurement back. Clocks pace measurement, not decisions — and a

@@ -18,7 +18,7 @@ var ErrClassAnalyzer = &Analyzer{
 	Doc: "package-level error sentinels/types in a package defining Transient() must be " +
 		"referenced by the classification table; error values must not be discarded with _ ",
 	Scopes: []Scope{
-		{Packages: []string{"internal/dist", "internal/store"}},
+		{Packages: []string{"internal/dist", "internal/gate", "internal/store"}},
 	},
 	Run: runErrClass,
 }

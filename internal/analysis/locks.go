@@ -18,7 +18,7 @@ var LocksAnalyzer = &Analyzer{
 	Doc: "Lock/RLock must pair with a same-function defer Unlock or an unlock on " +
 		"every return path; never take a slice or node lock while holding monitorMu/journalMu",
 	Scopes: []Scope{
-		{Packages: []string{"internal/dist", "internal/pool", "internal/store"}},
+		{Packages: []string{"internal/dist", "internal/gate", "internal/pool", "internal/store"}},
 	},
 	Run: runLocks,
 }

@@ -1,0 +1,57 @@
+package gate
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"crowdassess/internal/obs"
+)
+
+// tokenBucket is a classic leaky token bucket: capacity Burst tokens,
+// refilled continuously at Rate tokens/second. It is clock-injected (the
+// gateway threads the obs registry's clock through) so rate-limit tests
+// drive time explicitly instead of sleeping.
+type tokenBucket struct {
+	clock obs.Clock
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a full bucket. rate must be positive; burst is
+// clamped to at least one token (a bucket that can never hold a whole
+// token would reject everything).
+func newTokenBucket(clock obs.Clock, rate float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Ceil(rate)
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &tokenBucket{clock: clock, rate: rate, burst: b, tokens: b, last: clock.Now()}
+}
+
+// take attempts to consume one token. On success it reports the whole
+// tokens remaining; on refusal it reports how long until the next token
+// accrues — the Retry-After hint the 429 carries.
+func (b *tokenBucket) take() (ok bool, remaining int, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, int(b.tokens), 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, 0, time.Duration(math.Ceil(need * float64(time.Second)))
+}

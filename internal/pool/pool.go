@@ -340,6 +340,45 @@ func (m *Manager) Review() ([]Decision, error) {
 	return out, nil
 }
 
+// WorkerInfo is one worker's full quality record: lifecycle state,
+// recorded-response count and — once the policy's MinResponses bar is
+// met and a usable estimate exists — the current error-rate interval.
+type WorkerInfo struct {
+	// Worker is the worker's index in the pool.
+	Worker int
+	// State is the worker's current lifecycle state.
+	State State
+	// Responses is how many of the worker's responses have been recorded.
+	Responses int
+	// Estimate is the worker's current interval estimate, or nil when the
+	// worker is fired, below MinResponses, or has no usable estimate yet.
+	Estimate *core.WorkerEstimate
+}
+
+// WorkerInfo returns worker w's quality record. It is the single-worker
+// read behind the gateway's GET /v1/workers/{id}: cheap when the worker
+// has no estimate yet, one subset evaluation when it does.
+func (m *Manager) WorkerInfo(w int) (WorkerInfo, error) {
+	if w < 0 || w >= len(m.states) {
+		return WorkerInfo{}, fmt.Errorf("pool: worker %d out of range", w)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	info := WorkerInfo{Worker: w, State: m.states[w], Responses: int(m.responses[w].Load())}
+	if info.State == Fired || info.Responses < m.policy.MinResponses {
+		return info, nil
+	}
+	ests, err := m.inc.EvaluateSubset([]int{w}, core.EvalOptions{Confidence: m.policy.Confidence})
+	if err != nil {
+		return WorkerInfo{}, err
+	}
+	if len(ests) == 1 && ests[0].Err == nil {
+		est := ests[0]
+		info.Estimate = &est
+	}
+	return info, nil
+}
+
 // Estimates returns the current interval for every non-fired worker with
 // enough responses, without applying any policy action.
 func (m *Manager) Estimates() ([]core.WorkerEstimate, error) {
